@@ -1,0 +1,66 @@
+// Command easyhps-launch runs the EasyHPS master over real TCP: it listens
+// for easyhps-worker processes, schedules the DP problem across them, and
+// prints the result. Every worker must be started with identical -app, -n,
+// -seed, -proc and -thread flags so all ranks build the same problem.
+//
+// Example (three shells):
+//
+//	easyhps-launch -addr :9000 -workers 2 -app swgg -n 400
+//	easyhps-worker -addr 127.0.0.1:9000 -rank 1 -workers 2 -app swgg -n 400
+//	easyhps-worker -addr 127.0.0.1:9000 -rank 2 -workers 2 -app swgg -n 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9000", "listen address")
+		workers = flag.Int("workers", 2, "number of worker processes to wait for")
+		app     = flag.String("app", "swgg", "application (see easyhps-run)")
+		n       = flag.Int("n", 400, "matrix side length")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		proc    = flag.Int("proc", 0, "process_partition_size")
+		thread  = flag.Int("thread", 0, "thread_partition_size")
+		wait    = flag.Duration("wait", time.Minute, "how long to wait for workers")
+	)
+	flag.Parse()
+
+	prob, report, err := cli.Build(*app, *n, *seed)
+	fatal(err)
+
+	fmt.Printf("waiting for %d workers on %s ...\n", *workers, *addr)
+	tr, err := comm.ListenMaster(*addr, *workers, *wait)
+	fatal(err)
+	defer tr.Close()
+	fmt.Println("cluster assembled; scheduling", prob.Name)
+
+	cfg := core.Config{Threads: 1, RunTimeout: 15 * time.Minute}
+	if *proc > 0 {
+		cfg.ProcPartition = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		cfg.ThreadPartition = dag.Square(*thread)
+	}
+	res, err := core.RunMaster(prob, cfg, tr)
+	fatal(err)
+	fmt.Printf("done in %v\n", res.Stats.Elapsed.Round(time.Millisecond))
+	report(os.Stdout, res.Matrix())
+	fmt.Println(res.Stats)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easyhps-launch:", err)
+		os.Exit(1)
+	}
+}

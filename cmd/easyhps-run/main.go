@@ -1,0 +1,148 @@
+// Command easyhps-run executes one DP application on an in-process
+// emulated EasyHPS cluster and prints the application-level result
+// (alignment, structure, distance, ...) plus runtime statistics.
+//
+// Usage:
+//
+//	easyhps-run -app swgg -n 400 -slaves 3 -threads 4
+//	easyhps-run -app nussinov -n 200 -policy bcw
+//	easyhps-run -app matrixchain -n 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dp"
+	"repro/internal/seqio"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "swgg", "application: swgg, nussinov, editdist, lcs, knapsack, matrixchain")
+		n       = flag.Int("n", 400, "matrix side length (sequence length / item count)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		slaves  = flag.Int("slaves", 3, "slave computing nodes")
+		threads = flag.Int("threads", 4, "compute goroutines per slave")
+		proc    = flag.Int("proc", 0, "process_partition_size (default n/8)")
+		thread  = flag.Int("thread", 0, "thread_partition_size (default proc/4)")
+		policy  = flag.String("policy", "dynamic", "scheduling policy: dynamic or bcw")
+		verbose = flag.Bool("v", false, "print runtime statistics")
+		gantt   = flag.Bool("gantt", false, "print a per-slave execution timeline")
+		fasta   = flag.String("fasta", "", "align the first two records of this FASTA file (swgg/editdist/lcs)")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Slaves:     *slaves,
+		Threads:    *threads,
+		RunTimeout: 15 * time.Minute,
+	}
+	if *proc > 0 {
+		cfg.ProcPartition = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		cfg.ThreadPartition = dag.Square(*thread)
+	}
+	switch *policy {
+	case "dynamic":
+		cfg.Policy = core.PolicyDynamic
+	case "bcw":
+		cfg.Policy = core.PolicyBlockCyclic
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var rec *trace.Recorder
+	if *gantt {
+		rec = trace.New()
+		cfg.Trace = rec
+	}
+
+	if *app == "matrixchain" {
+		runMatrixChain(*n, *seed, cfg, *verbose)
+		return
+	}
+
+	var (
+		prob   core.Problem[int32]
+		report func(io.Writer, [][]int32)
+		err    error
+	)
+	if *fasta != "" {
+		prob, report, err = buildFromFasta(*app, *fasta)
+	} else {
+		prob, report, err = cli.Build(*app, *n, *seed)
+	}
+	fatal(err)
+	res, err := core.Run(prob, cfg)
+	fatal(err)
+	fmt.Printf("%s on %d slaves x %d threads (%s policy): %v\n",
+		prob.Name, *slaves, *threads, *policy, res.Stats.Elapsed.Round(time.Millisecond))
+	report(os.Stdout, res.Matrix())
+	if *verbose {
+		fmt.Println(res.Stats)
+	}
+	if rec != nil {
+		rec.Gantt(os.Stdout, 96)
+	}
+}
+
+// buildFromFasta aligns the first two records of a FASTA file.
+func buildFromFasta(app, path string) (core.Problem[int32], func(io.Writer, [][]int32), error) {
+	recs, err := seqio.ReadFile(path)
+	if err != nil {
+		return core.Problem[int32]{}, nil, err
+	}
+	if len(recs) < 2 {
+		return core.Problem[int32]{}, nil, fmt.Errorf("need two FASTA records, got %d", len(recs))
+	}
+	a, b := recs[0].Seq, recs[1].Seq
+	switch app {
+	case "swgg":
+		s := dp.NewSWGG(a, b)
+		return s.Problem(), func(w io.Writer, m [][]int32) {
+			al := s.Traceback(m)
+			fmt.Fprintf(w, "%s vs %s: local score %d\n", recs[0].ID, recs[1].ID, al.Score)
+		}, nil
+	case "editdist":
+		e := dp.NewEditDistance(a, b)
+		return e.Problem(), func(w io.Writer, m [][]int32) {
+			fmt.Fprintf(w, "%s vs %s: edit distance %d\n", recs[0].ID, recs[1].ID, e.Distance(m))
+		}, nil
+	case "lcs":
+		l := dp.NewLCS(a, b)
+		return l.Problem(), func(w io.Writer, m [][]int32) {
+			fmt.Fprintf(w, "%s vs %s: LCS length %d\n", recs[0].ID, recs[1].ID, m[len(a)-1][len(b)-1])
+		}, nil
+	}
+	return core.Problem[int32]{}, nil, fmt.Errorf("-fasta supports swgg, editdist, lcs (got %q)", app)
+}
+
+// runMatrixChain handles the int64-celled application, demonstrating the
+// generic runtime beyond the int32 facade.
+func runMatrixChain(n int, seed int64, cfg core.Config, verbose bool) {
+	m := dp.NewMatrixChain(n, 2, 100, seed)
+	res, err := core.Run(m.Problem(), cfg)
+	fatal(err)
+	got := res.Matrix()
+	fmt.Printf("matrixchain-%d: optimal multiplication cost %d (%v)\n",
+		n, got[0][n-1], res.Stats.Elapsed.Round(time.Millisecond))
+	if verbose {
+		fmt.Println(res.Stats)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easyhps-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command easyhps-worker runs one EasyHPS slave node as a separate OS
+// process, connecting to an easyhps-launch master over TCP. The -app, -n,
+// -seed, -proc and -thread flags must match the master's so every rank
+// builds the same problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9000", "master address")
+		rank    = flag.Int("rank", 1, "this worker's rank (1-based)")
+		workers = flag.Int("workers", 2, "total number of workers in the cluster")
+		app     = flag.String("app", "swgg", "application (must match the master)")
+		n       = flag.Int("n", 400, "matrix side length (must match)")
+		seed    = flag.Int64("seed", 1, "workload seed (must match)")
+		proc    = flag.Int("proc", 0, "process_partition_size (must match)")
+		thread  = flag.Int("thread", 0, "thread_partition_size")
+		threads = flag.Int("threads", 4, "compute goroutines on this worker")
+		wait    = flag.Duration("wait", time.Minute, "how long to keep dialing the master")
+	)
+	flag.Parse()
+
+	prob, _, err := cli.Build(*app, *n, *seed)
+	fatal(err)
+
+	tr, err := comm.DialWorker(*addr, *rank, *workers, *wait)
+	fatal(err)
+	defer tr.Close()
+
+	cfg := core.Config{Threads: *threads}
+	if *proc > 0 {
+		cfg.ProcPartition = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		cfg.ThreadPartition = dag.Square(*thread)
+	}
+	fmt.Printf("worker %d/%d connected to %s; computing %s with %d threads\n",
+		*rank, *workers, *addr, prob.Name, *threads)
+	fatal(core.RunSlave(prob, cfg, tr))
+	fmt.Println("worker done")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easyhps-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+package easyhps
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The facade must be usable exactly as the README shows.
+func TestFacadeQuickstart(t *testing.T) {
+	a := RandomDNA(96, 1)
+	b := MutateSeq(a, "ACGT", 0.2, 2)
+	s := NewSWGG(a, b)
+	res, err := Run(s.Problem(), Config{
+		Slaves:          2,
+		Threads:         3,
+		ProcPartition:   Square(24),
+		ThreadPartition: Square(6),
+		RunTimeout:      2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, _, _ := BestLocal(res.Matrix())
+	wantScore, _, _ := BestLocal(s.Sequential())
+	if score != wantScore {
+		t.Fatalf("facade run score %d != sequential %d", score, wantScore)
+	}
+}
+
+func TestFacadePatternLibrary(t *testing.T) {
+	for _, name := range []string{"wavefront", "rowcolumn", "triangular", "dominance", "rowonly", "chain"} {
+		if _, ok := LookupPattern(name); !ok {
+			t.Errorf("library pattern %q missing from facade", name)
+		}
+	}
+	g := MatrixGeometry(Square(12), Square(3))
+	if err := ValidatePattern(PatternWavefront, g); err != nil {
+		t.Error(err)
+	}
+	if err := ValidatePattern(PatternTriangular, g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeCustomPattern(t *testing.T) {
+	// A pattern violating the topology invariant must be rejected.
+	bad := CustomPattern{
+		PatternName: "facade-bad",
+		DataDepsFunc: func(g Geometry, p Pos, buf []Pos) []Pos {
+			if p.Row > 0 {
+				buf = append(buf, Pos{Row: p.Row - 1, Col: p.Col})
+			}
+			return buf
+		},
+	}
+	if err := ValidatePattern(bad, MatrixGeometry(Square(4), Square(2))); err == nil {
+		t.Error("invalid custom pattern accepted")
+	}
+}
+
+func TestFacadeTraceAndPolicy(t *testing.T) {
+	e := NewEditDistance(RandomDNA(48, 3), RandomDNA(48, 4))
+	rec := NewTrace()
+	res, err := Run(e.Problem(), Config{
+		Slaves:          2,
+		Threads:         2,
+		ProcPartition:   Square(12),
+		ThreadPartition: Square(4),
+		Policy:          PolicyBlockCyclic,
+		Trace:           rec,
+		RunTimeout:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tasks != 16 {
+		t.Fatalf("tasks = %d, want 16", res.Stats.Tasks)
+	}
+	if s := rec.Summarize(); s.Tasks == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+}
+
+func TestFacadeNussinovStructure(t *testing.T) {
+	nu := NewNussinov(RandomRNA(64, 5))
+	res, err := Run(nu.Problem(), Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition: Square(16), ThreadPartition: Square(4),
+		RunTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Matrix()
+	st := nu.Structure(m)
+	if PairCount(st) != int(m[0][63]) {
+		t.Fatalf("structure pairs %d != matrix %d", PairCount(st), m[0][63])
+	}
+}
+
+func TestFacadeAffinityAndDelta(t *testing.T) {
+	a := RandomDNA(48, 6)
+	b := MutateSeq(a, "ACGT", 0.2, 7)
+	s := NewSWGG(a, b)
+	res, err := Run(s.Problem(), Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   Square(12),
+		ThreadPartition: Square(4),
+		Policy:          PolicyAffinity,
+		RunTimeout:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlocksSkipped == 0 {
+		t.Fatalf("affinity policy did not engage delta shipping: %+v", res.Stats)
+	}
+	wantScore, _, _ := BestLocal(s.Sequential())
+	gotScore, _, _ := BestLocal(res.Matrix())
+	if gotScore != wantScore {
+		t.Fatalf("score %d != %d", gotScore, wantScore)
+	}
+}
+
+func TestFacadeGeometryHelpers(t *testing.T) {
+	g := MatrixGeometry(Square(10), Square(4))
+	if g.Grid != (Size{Rows: 3, Cols: 3}) {
+		t.Fatalf("grid = %v", g.Grid)
+	}
+	g2 := NewGeometry(Rect{Row0: 2, Col0: 2, Rows: 6, Cols: 6}, Square(3))
+	if g2.Grid != (Size{Rows: 2, Cols: 2}) {
+		t.Fatalf("region grid = %v", g2.Grid)
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	rec := NewTrace()
+	e := NewEditDistance(RandomDNA(24, 8), RandomDNA(24, 9))
+	if _, err := Run(e.Problem(), Config{
+		Slaves: 2, Threads: 1,
+		ProcPartition: Square(8), ThreadPartition: Square(4),
+		Trace: rec, RunTimeout: time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rec.Gantt(&sb, 40)
+	if !strings.Contains(sb.String(), "gantt:") {
+		t.Fatalf("gantt output: %q", sb.String())
+	}
+}

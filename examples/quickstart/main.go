@@ -1,0 +1,42 @@
+// Quickstart: compute the edit distance between two DNA sequences on an
+// in-process EasyHPS cluster and check it against the sequential
+// reference.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	easyhps "repro"
+)
+
+func main() {
+	// Two related sequences: b is a mutated copy of a.
+	a := easyhps.RandomDNA(500, 7)
+	b := easyhps.MutateSeq(a, "ACGT", 0.15, 8)
+
+	// The kernel bundles the recurrence, its boundary values and its
+	// DAG pattern (wavefront for edit distance).
+	e := easyhps.NewEditDistance(a, b)
+
+	// Deploy: 3 slave nodes x 4 compute threads, 64x64-cell
+	// processor-level blocks re-partitioned into 16x16 thread-level
+	// blocks.
+	res, err := easyhps.Run(e.Problem(), easyhps.Config{
+		Slaves:          3,
+		Threads:         4,
+		ProcPartition:   easyhps.Square(64),
+		ThreadPartition: easyhps.Square(16),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Matrix()
+	fmt.Printf("edit distance (parallel):   %d\n", e.Distance(m))
+	fmt.Printf("edit distance (sequential): %d\n", e.Distance(e.Sequential()))
+	fmt.Printf("runtime: %v  (%d sub-tasks, %d sub-sub-tasks, %d messages)\n",
+		res.Stats.Elapsed, res.Stats.Tasks, res.Stats.SubTasks, res.Stats.Messages)
+}

@@ -1,0 +1,102 @@
+// Package cli holds the problem-construction and reporting helpers shared
+// by the command-line tools. Multi-process deployments (easyhps-launch +
+// easyhps-worker) must build bit-identical problems on every rank, so the
+// construction is centralized here and driven by (app, n, seed).
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+)
+
+// Apps lists the applications available to the CLI tools (int32-celled
+// ones; matrix-chain uses int64 and is exposed only by easyhps-run).
+var Apps = []string{"swgg", "nussinov", "editdist", "lcs", "knapsack", "nw"}
+
+// Build constructs the DP problem for app with matrix side n and workload
+// seed. The returned report function pretty-prints the application-level
+// result (alignment, structure, distance, ...) from the completed matrix.
+func Build(app string, n int, seed int64) (core.Problem[int32], func(w io.Writer, m [][]int32), error) {
+	switch strings.ToLower(app) {
+	case "swgg":
+		a := dp.RandomDNA(n, seed)
+		b := dp.MutateSeq(a, dp.DNAAlphabet, 0.3, seed+1)
+		s := dp.NewSWGG(a, b)
+		report := func(w io.Writer, m [][]int32) {
+			al := s.Traceback(m)
+			fmt.Fprintf(w, "best local alignment score: %d (at A[%d:], B[%d:])\n", al.Score, al.StartA, al.StartB)
+			printAlignment(w, al)
+		}
+		return s.Problem(), report, nil
+	case "nussinov":
+		nu := dp.NewNussinov(dp.RandomRNA(n, seed))
+		report := func(w io.Writer, m [][]int32) {
+			st := nu.Structure(m)
+			fmt.Fprintf(w, "max base pairs: %d\n", m[0][n-1])
+			fmt.Fprintf(w, "seq: %s\n", nu.S)
+			fmt.Fprintf(w, "str: %s\n", st)
+		}
+		return nu.Problem(), report, nil
+	case "editdist":
+		a := dp.RandomDNA(n, seed)
+		b := dp.MutateSeq(a, dp.DNAAlphabet, 0.2, seed+1)
+		e := dp.NewEditDistance(a, b)
+		report := func(w io.Writer, m [][]int32) {
+			fmt.Fprintf(w, "edit distance: %d\n", e.Distance(m))
+		}
+		return e.Problem(), report, nil
+	case "lcs":
+		a := dp.RandomDNA(n, seed)
+		b := dp.MutateSeq(a, dp.DNAAlphabet, 0.2, seed+1)
+		l := dp.NewLCS(a, b)
+		report := func(w io.Writer, m [][]int32) {
+			fmt.Fprintf(w, "LCS length: %d\n", m[n-1][n-1])
+		}
+		return l.Problem(), report, nil
+	case "nw":
+		a := dp.RandomDNA(n, seed)
+		b := dp.MutateSeq(a, dp.DNAAlphabet, 0.3, seed+1)
+		nw := dp.NewNeedlemanWunsch(a, b)
+		report := func(w io.Writer, m [][]int32) {
+			al := nw.Traceback(m)
+			fmt.Fprintf(w, "global alignment score: %d\n", al.Score)
+			printAlignment(w, al)
+		}
+		return nw.Problem(), report, nil
+	case "knapsack":
+		k := dp.NewKnapsack(n, 4*n, seed)
+		report := func(w io.Writer, m [][]int32) {
+			fmt.Fprintf(w, "knapsack best value: %d (items=%d capacity=%d)\n", k.Best(m), n, 4*n)
+		}
+		return k.Problem(), report, nil
+	}
+	return core.Problem[int32]{}, nil, fmt.Errorf("unknown app %q (have: %s)", app, strings.Join(Apps, ", "))
+}
+
+// printAlignment pretty-prints a gapped alignment in 60-column chunks with
+// a match line.
+func printAlignment(w io.Writer, al dp.Alignment) {
+	const width = 60
+	for off := 0; off < len(al.RowA); off += width {
+		end := off + width
+		if end > len(al.RowA) {
+			end = len(al.RowA)
+		}
+		mid := make([]byte, end-off)
+		for k := range mid {
+			switch {
+			case al.RowA[off+k] == al.RowB[off+k]:
+				mid[k] = '|'
+			case al.RowA[off+k] == '-' || al.RowB[off+k] == '-':
+				mid[k] = ' '
+			default:
+				mid[k] = '.'
+			}
+		}
+		fmt.Fprintf(w, "A  %s\n   %s\nB  %s\n\n", al.RowA[off:end], mid, al.RowB[off:end])
+	}
+}

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+func runApp(t *testing.T, app string, n int) string {
+	t.Helper()
+	prob, report, err := Build(app, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square((n + 3) / 4),
+		ThreadPartition: dag.Square((n + 15) / 16),
+		RunTimeout:      2 * time.Minute,
+	}
+	res, err := core.Run(prob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report(&buf, res.Matrix())
+	return buf.String()
+}
+
+func TestBuildAllApps(t *testing.T) {
+	wantWords := map[string]string{
+		"swgg":     "alignment score",
+		"nussinov": "base pairs",
+		"editdist": "edit distance",
+		"lcs":      "LCS length",
+		"knapsack": "best value",
+		"nw":       "global alignment score",
+	}
+	for _, app := range Apps {
+		out := runApp(t, app, 48)
+		if !strings.Contains(out, wantWords[app]) {
+			t.Errorf("%s report %q missing %q", app, out, wantWords[app])
+		}
+	}
+}
+
+func TestBuildUnknownApp(t *testing.T) {
+	if _, _, err := Build("no-such-app", 10, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p1, _, err := Build("swgg", 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := Build("swgg", 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same flags must produce the same problem (multi-process ranks rely
+	// on it). Compare through a tiny run on each.
+	cfg := core.Config{Slaves: 1, Threads: 1, ProcPartition: dag.Square(8), ThreadPartition: dag.Square(4), RunTimeout: time.Minute}
+	r1, err := core.Run(p1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Run(p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := r1.Matrix(), r2.Matrix()
+	for i := range m1 {
+		for j := range m1[i] {
+			if m1[i][j] != m2[i][j] {
+				t.Fatalf("same flags produced different problems at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package comm is the message-passing substrate of EasyHPS — the stand-in
+// for MPI in the paper's processor-level parallelization.
+//
+// The runtime only needs ordered, reliable point-to-point messages between
+// a master rank (0) and a set of slave ranks (1..n). Two transports are
+// provided:
+//
+//   - ChanNetwork: every rank lives in the same OS process; messages travel
+//     over Go channels, optionally delayed by a LatencyModel so the
+//     communication cost of a real cluster can be emulated on one machine;
+//   - TCP: ranks are separate OS processes connected over TCP with
+//     gob-framed messages, for genuine multi-process deployments.
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the runtime protocol messages.
+type Kind uint8
+
+const (
+	// KindIdle is sent by a slave to announce it is ready for a
+	// sub-task (step a of the slave scheduling loop).
+	KindIdle Kind = iota + 1
+	// KindTask carries a sub-task: the vertex id and the encoded data
+	// region (output rect plus input blocks).
+	KindTask
+	// KindResult carries the computed output block of a sub-task back to
+	// the master.
+	KindResult
+	// KindEnd tells a slave that scheduling has finished and it should
+	// shut down.
+	KindEnd
+	// KindUser is reserved for application-level messages.
+	KindUser
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIdle:
+		return "idle"
+	case KindTask:
+		return "task"
+	case KindResult:
+		return "result"
+	case KindEnd:
+		return "end"
+	case KindUser:
+		return "user"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is the envelope exchanged between ranks.
+type Message struct {
+	From, To int
+	Kind     Kind
+	// Vertex is the processor-level DAG vertex id for task/result
+	// messages.
+	Vertex int32
+	// Attempt numbers the dispatch attempts of a vertex so that results
+	// of timed-out attempts can be recognized and dropped.
+	Attempt int32
+	// Payload is the application body (encoded blocks).
+	Payload []byte
+}
+
+// ErrClosed is returned by Recv after the transport has been closed and
+// drained, and by Send on a closed transport.
+var ErrClosed = errors.New("comm: transport closed")
+
+// Transport is one rank's endpoint of the network.
+type Transport interface {
+	// Rank is this endpoint's rank; the master is rank 0.
+	Rank() int
+	// Size is the total number of ranks, master included.
+	Size() int
+	// Send delivers m to rank to. Messages between a fixed pair of ranks
+	// arrive in send order.
+	Send(to int, m Message) error
+	// Recv blocks until a message arrives, returning ErrClosed once the
+	// transport is closed and the inbox drained.
+	Recv() (Message, error)
+	// Close shuts the endpoint down and unblocks pending Recv calls.
+	Close() error
+}

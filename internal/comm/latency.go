@@ -1,0 +1,37 @@
+package comm
+
+import "time"
+
+// LatencyModel emulates the cost of an interconnect on the in-process
+// transport: every Send is charged a fixed per-message latency plus a
+// bandwidth term proportional to the payload size. The charge is applied
+// on the sender side (blocking-send semantics, as with a synchronous
+// MPI_Send), which both throttles dispatch and keeps per-pair ordering
+// trivially intact.
+//
+// The zero value is a free network (no delay), which corresponds to an
+// idealized shared-memory machine.
+type LatencyModel struct {
+	// Base is the per-message latency.
+	Base time.Duration
+	// PerKB is the transfer cost per 1024 payload bytes.
+	PerKB time.Duration
+}
+
+// Delay returns the charge for a payload of n bytes.
+func (l LatencyModel) Delay(n int) time.Duration {
+	return l.Base + time.Duration(int64(l.PerKB)*int64(n)/1024)
+}
+
+// Zero reports whether the model charges nothing.
+func (l LatencyModel) Zero() bool { return l.Base == 0 && l.PerKB == 0 }
+
+// DefaultClusterLatency approximates a commodity cluster interconnect
+// relative to the scaled-down workloads of the benchmark harness: tens of
+// microseconds per message plus a bandwidth term. It is deliberately
+// pessimistic compared to InfiniBand so that communication effects are
+// visible at the reduced problem sizes (see DESIGN.md).
+var DefaultClusterLatency = LatencyModel{
+	Base:  120 * time.Microsecond,
+	PerKB: 4 * time.Microsecond,
+}

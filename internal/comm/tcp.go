@@ -1,0 +1,202 @@
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: a star topology matching the master-slave deployment of
+// EasyHPS. The master listens; each worker process dials in and announces
+// its rank with a hello frame. Messages are gob-encoded Message values.
+//
+// Only master<->slave links exist (the runtime never needs slave<->slave
+// traffic), so Send from a worker accepts rank 0 only.
+
+// helloFrame is the first value on every worker connection.
+type helloFrame struct {
+	Rank int
+}
+
+// TCPTransport implements Transport over TCP connections.
+type TCPTransport struct {
+	rank int
+	size int
+	in   chan Message
+	done chan struct{}
+	once sync.Once
+
+	mu    sync.Mutex
+	conns map[int]*tcpConn
+	ln    net.Listener
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex // serializes writes
+}
+
+func (tc *tcpConn) send(m Message) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.enc.Encode(m)
+}
+
+// ListenMaster starts the master endpoint (rank 0): it listens on addr and
+// waits until exactly slaves workers have connected and identified
+// themselves, or the timeout expires.
+func ListenMaster(addr string, slaves int, timeout time.Duration) (*TCPTransport, error) {
+	if slaves < 1 {
+		return nil, fmt.Errorf("comm: need at least one slave, got %d", slaves)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTransport{
+		rank:  0,
+		size:  slaves + 1,
+		in:    make(chan Message, 16*(slaves+1)+256),
+		done:  make(chan struct{}),
+		conns: make(map[int]*tcpConn),
+		ln:    ln,
+	}
+	deadline := time.Now().Add(timeout)
+	for len(t.conns) < slaves {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				ln.Close()
+				return nil, err
+			}
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("comm: accepting worker %d of %d: %w", len(t.conns)+1, slaves, err)
+		}
+		dec := gob.NewDecoder(c)
+		var hello helloFrame
+		if err := dec.Decode(&hello); err != nil {
+			c.Close()
+			continue
+		}
+		if hello.Rank < 1 || hello.Rank > slaves {
+			c.Close()
+			ln.Close()
+			return nil, fmt.Errorf("comm: worker announced invalid rank %d", hello.Rank)
+		}
+		if _, dup := t.conns[hello.Rank]; dup {
+			c.Close()
+			ln.Close()
+			return nil, fmt.Errorf("comm: two workers announced rank %d", hello.Rank)
+		}
+		t.conns[hello.Rank] = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+		go t.pump(hello.Rank, c, dec)
+	}
+	return t, nil
+}
+
+// DialWorker connects a worker endpoint with the given rank (1-based) to
+// the master at addr, retrying until the timeout expires so workers can be
+// started before the master.
+func DialWorker(addr string, rank, slaves int, timeout time.Duration) (*TCPTransport, error) {
+	if rank < 1 || rank > slaves {
+		return nil, fmt.Errorf("comm: invalid worker rank %d (1..%d)", rank, slaves)
+	}
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: dialing master %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	enc := gob.NewEncoder(c)
+	if err := enc.Encode(helloFrame{Rank: rank}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	t := &TCPTransport{
+		rank:  rank,
+		size:  slaves + 1,
+		in:    make(chan Message, 272),
+		done:  make(chan struct{}),
+		conns: map[int]*tcpConn{0: {c: c, enc: enc}},
+	}
+	go t.pump(0, c, gob.NewDecoder(c))
+	return t, nil
+}
+
+// pump reads messages from one connection into the inbox until the
+// connection or the transport closes.
+func (t *TCPTransport) pump(from int, c net.Conn, dec *gob.Decoder) {
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		m.From = from
+		select {
+		case t.in <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) Rank() int { return t.rank }
+func (t *TCPTransport) Size() int { return t.size }
+
+func (t *TCPTransport) Send(to int, m Message) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	t.mu.Lock()
+	conn := t.conns[to]
+	t.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("comm: rank %d has no link to rank %d", t.rank, to)
+	}
+	m.From = t.rank
+	m.To = to
+	return conn.send(m)
+}
+
+func (t *TCPTransport) Recv() (Message, error) {
+	select {
+	case m := <-t.in:
+		return m, nil
+	case <-t.done:
+		select {
+		case m := <-t.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for _, c := range t.conns {
+			c.c.Close()
+		}
+		if t.ln != nil {
+			t.ln.Close()
+		}
+	})
+	return nil
+}

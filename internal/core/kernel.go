@@ -1,0 +1,73 @@
+// Package core implements the EasyHPS runtime: the master part that
+// schedules processor-level sub-tasks over slave nodes, the slave part that
+// re-partitions each sub-task over compute threads, the dynamic worker
+// pools at both levels, and the hierarchical timeout-based fault tolerance
+// described in §V of the paper.
+package core
+
+import (
+	"repro/internal/dag"
+	"repro/internal/matrix"
+)
+
+// Kernel is what a user implements to run a DP algorithm on EasyHPS — the
+// counterpart of the paper's user APIs (Table I): the DAG Pattern Model of
+// the recurrence, the boundary values, and the per-cell recurrence itself.
+//
+// Cell must be deterministic and must read, through the view, only cells
+// that the pattern declares reachable: within the current block (already
+// computed in CellOrder order), in blocks listed by the pattern's
+// DataDeps, or outside the computed region (resolved by Boundary). Reads
+// outside that contract panic, which is how the tests detect
+// under-declared data regions.
+type Kernel[T any] interface {
+	// Pattern returns the DAG Pattern Model of the recurrence, either
+	// from the library or user defined.
+	Pattern() dag.Pattern
+	// Boundary supplies the value of a cell outside the computed region
+	// (negative indices, beyond the matrix, or pattern holes such as the
+	// lower triangle of a triangular pattern).
+	Boundary(i, j int) T
+	// Cell computes the recurrence at (i, j).
+	Cell(v *matrix.View[T], i, j int) T
+}
+
+// CostModel is an optional Kernel extension reporting the relative cost of
+// computing one cell. Most DP recurrences are not uniform — an SWGG cell
+// scans its whole row and column prefix, O(i+j); a Nussinov cell scans its
+// span, O(j-i) — and the runtime's emulated-work mode
+// (Config.WorkDelayPerCell) uses this weight so that block costs vary the
+// way the real recurrence's do. Implementations should normalize the mean
+// weight over the matrix to about 1 so the total emulated work stays
+// cells x WorkDelayPerCell. Kernels without a CostModel are weighted
+// uniformly.
+type CostModel interface {
+	CellCost(i, j int) float64
+}
+
+// Problem bundles everything the runtime needs to execute one DP
+// application.
+type Problem[T any] struct {
+	// Name identifies the problem in logs and stats.
+	Name string
+	// Size is the DP matrix extent.
+	Size dag.Size
+	// Kernel is the user recurrence.
+	Kernel Kernel[T]
+	// Codec serializes cells on the wire.
+	Codec matrix.Codec[T]
+}
+
+// Result of a run: the completed blocked matrix plus runtime statistics.
+type Result[T any] struct {
+	// Store holds every computed block at processor-level granularity
+	// (an in-memory Store, or a SpillStore in out-of-core mode).
+	Store matrix.BlockStore[T]
+	// Stats aggregates the scheduling statistics of the run.
+	Stats Stats
+}
+
+// Matrix assembles the result into a dense matrix. Cells outside the
+// computed region (e.g. the lower triangle of a triangular pattern) are
+// zero values.
+func (r *Result[T]) Matrix() [][]T { return r.Store.Assemble() }

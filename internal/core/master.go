@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/dag"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// master is the master part of the runtime (Figs. 9-10 of the paper): it
+// owns the master DAG Data Driven Model, the master worker pool with one
+// worker goroutine per slave node, the sub-task register table, the master
+// overtime queue and the fault-tolerance goroutine.
+type master[T any] struct {
+	p   Problem[T]
+	cfg Config
+	tr  comm.Transport
+
+	geom   dag.Geometry
+	graph  *dag.Graph
+	parser *dag.Parser
+	disp   sched.Dispatcher
+	store  matrix.BlockStore[T]
+	reg    *sched.RegisterTable
+	ot     *sched.OvertimeQueue
+	ctrs   *counters
+
+	idle []chan struct{} // indexed by slave rank (1..Slaves)
+
+	// uses[v] counts the not-yet-finished sub-tasks whose data region
+	// includes block v; when ReclaimBlocks is set and the count drops to
+	// zero the block is released (only touched from the recv loop and
+	// the restore replay, so unsynchronized).
+	uses []int32
+	ckpt *checkpoint.Writer
+
+	// known[s][v] records that slave s holds block v (delta shipping):
+	// either it was shipped there or the slave computed it. Guarded by
+	// knownMu (senders and the recv loop both touch it).
+	knownMu sync.Mutex
+	known   [][]bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+// runMaster executes the master part over transport tr and returns the
+// completed matrix store. cfg must already have defaults applied.
+func runMaster[T any](p Problem[T], cfg Config, tr comm.Transport, ctrs *counters) (*Result[T], error) {
+	geom := dag.MatrixGeometry(p.Size, cfg.ProcPartition)
+	graph := dag.Build(p.Kernel.Pattern(), geom)
+	var store matrix.BlockStore[T] = matrix.NewStore[T](geom)
+	if cfg.SpillDir != "" {
+		ss, err := matrix.NewSpillStore(geom, p.Codec, cfg.SpillDir, cfg.SpillBudget)
+		if err != nil {
+			return nil, err
+		}
+		store = ss
+	}
+	m := &master[T]{
+		p:      p,
+		cfg:    cfg,
+		tr:     tr,
+		geom:   geom,
+		graph:  graph,
+		parser: dag.NewParser(graph),
+		store:  store,
+		reg:    sched.NewRegisterTable(),
+		ot:     sched.NewOvertimeQueue(),
+		ctrs:   ctrs,
+		idle:   make([]chan struct{}, cfg.Slaves+1),
+		done:   make(chan struct{}),
+	}
+	switch cfg.Policy {
+	case PolicyBlockCyclic:
+		m.disp = sched.NewBlockCyclic(graph, cfg.Slaves, cfg.BCWBlockCols)
+	case PolicyAffinity:
+		m.disp = newAffinityDispatcher(m.affinityScore)
+	default:
+		m.disp = sched.NewDynamic()
+	}
+	for s := 1; s <= cfg.Slaves; s++ {
+		m.idle[s] = make(chan struct{}, 4)
+	}
+	if cfg.ReclaimBlocks {
+		m.uses = make([]int32, len(graph.Verts))
+		for _, id := range graph.Existing() {
+			for _, d := range graph.Vertex(id).DataPre {
+				m.uses[d]++
+			}
+		}
+	}
+	if cfg.Checkpoint != nil {
+		m.ckpt = checkpoint.NewWriter(cfg.Checkpoint)
+	}
+	if cfg.DeltaShipping {
+		m.known = make([][]bool, cfg.Slaves+1)
+		for s := 1; s <= cfg.Slaves; s++ {
+			m.known[s] = make([]bool, len(graph.Verts))
+		}
+	}
+	if err := m.restore(); err != nil {
+		return nil, err
+	}
+
+	if cfg.RunTimeout > 0 {
+		timer := time.AfterFunc(cfg.RunTimeout, func() {
+			m.finish(fmt.Errorf("core: run exceeded RunTimeout %v with %d sub-tasks remaining", cfg.RunTimeout, m.parser.Remaining()))
+		})
+		defer timer.Stop()
+	}
+
+	var ftWG sync.WaitGroup
+	ftWG.Add(1)
+	go func() {
+		defer ftWG.Done()
+		m.faultToleranceLoop()
+	}()
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		m.recvLoop()
+	}()
+
+	var senders sync.WaitGroup
+	for s := 1; s <= cfg.Slaves; s++ {
+		senders.Add(1)
+		go func(s int) {
+			defer senders.Done()
+			m.senderLoop(s)
+		}(s)
+	}
+	senders.Wait()
+
+	// All End signals sent; shut the endpoint to unblock the receive
+	// loop, then collect the helpers.
+	m.tr.Close()
+	<-recvDone
+	ftWG.Wait()
+
+	m.errMu.Lock()
+	err := m.err
+	m.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Result[T]{Store: m.store}, nil
+}
+
+// finish ends the run exactly once, recording err (nil for success).
+func (m *master[T]) finish(err error) {
+	m.doneOnce.Do(func() {
+		m.errMu.Lock()
+		m.err = err
+		m.errMu.Unlock()
+		close(m.done)
+		m.disp.Close()
+	})
+}
+
+// senderLoop is one worker thread of the master worker pool: it waits for
+// its slave to be idle, takes a computable sub-task from the dispatcher,
+// registers it, ships the data region, and arms the overtime watch
+// (§V.B steps d-e).
+func (m *master[T]) senderLoop(s int) {
+	worker := s - 1
+	for {
+		select {
+		case <-m.idle[s]:
+		case <-m.done:
+			m.sendEnd(s)
+			return
+		}
+		for {
+			v, ok := m.disp.Next(worker)
+			if !ok {
+				m.sendEnd(s)
+				return
+			}
+			if m.dispatch(s, worker, v) {
+				break
+			}
+			// The vertex finished while queued for redistribution
+			// (its result raced the timeout); take the next one
+			// without consuming another idle token.
+		}
+	}
+}
+
+func (m *master[T]) sendEnd(s int) {
+	_ = m.tr.Send(s, comm.Message{Kind: comm.KindEnd})
+}
+
+// dispatch sends vertex v to slave s. It returns false when the vertex
+// turned out to be already finished (a redistribution raced its result).
+func (m *master[T]) dispatch(s, worker int, v int32) bool {
+	// Register first: if the vertex finished while queued for
+	// redistribution we must bail out before touching the known-set,
+	// or unsent blocks would be recorded as held by the slave.
+	attempt, ok := m.reg.Register(v)
+	if !ok {
+		return false
+	}
+	deps := m.graph.Vertex(v).DataPre
+	if m.known != nil {
+		deps = m.filterKnown(s, deps)
+	}
+	positions := make([]dag.Pos, len(deps))
+	for k, d := range deps {
+		positions[k] = m.geom.PosOf(d)
+	}
+	blocks := m.store.Gather(positions)
+	m.ctrs.blocksShipped.Add(int64(len(blocks)))
+	payload, err := matrix.EncodeBlocks(m.p.Codec, blocks)
+	if err != nil {
+		m.finish(fmt.Errorf("core: encoding data region of vertex %d: %w", v, err))
+		return true
+	}
+	m.ot.Add(v, attempt, time.Now().Add(m.cfg.TaskTimeout))
+	m.cfg.Trace.TaskStart(worker, v)
+	m.ctrs.dispatches.Add(1)
+	if err := m.tr.Send(s, comm.Message{
+		Kind: comm.KindTask, Vertex: v, Attempt: attempt, Payload: payload,
+	}); err != nil && !errors.Is(err, comm.ErrClosed) {
+		m.finish(fmt.Errorf("core: sending task %d to slave %d: %w", v, s, err))
+	}
+	return true
+}
+
+// recvLoop is the message-handling side of the master worker pool: idle
+// announcements re-arm the per-slave senders; results update the register
+// table, the store, and the DAG parser (§V.B steps f-h).
+func (m *master[T]) recvLoop() {
+	for {
+		msg, err := m.tr.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case comm.KindIdle:
+			m.signalIdle(msg.From)
+		case comm.KindResult:
+			m.handleResult(msg)
+			m.signalIdle(msg.From)
+		}
+	}
+}
+
+func (m *master[T]) signalIdle(s int) {
+	if s < 1 || s >= len(m.idle) {
+		return
+	}
+	select {
+	case m.idle[s] <- struct{}{}:
+	default:
+	}
+}
+
+// filterKnown drops blocks slave s already holds and marks the remainder
+// as held once this dispatch ships them.
+func (m *master[T]) filterKnown(s int, deps []int32) []int32 {
+	m.knownMu.Lock()
+	defer m.knownMu.Unlock()
+	out := make([]int32, 0, len(deps))
+	for _, d := range deps {
+		if m.known[s][d] {
+			m.ctrs.blocksSkipped.Add(1)
+			continue
+		}
+		m.known[s][d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+func (m *master[T]) handleResult(msg comm.Message) {
+	v := msg.Vertex
+	if !m.reg.Accept(v, msg.Attempt) {
+		// A late answer for a superseded attempt (§V.B step g): the
+		// registration was cancelled on timeout, so the result is
+		// dropped.
+		m.ctrs.staleResults.Add(1)
+		return
+	}
+	m.ot.Remove(v)
+	blocks, err := matrix.DecodeBlocks(m.p.Codec, msg.Payload)
+	if err != nil || len(blocks) != 1 {
+		m.finish(fmt.Errorf("core: bad result payload for vertex %d from slave %d: %v", v, msg.From, err))
+		return
+	}
+	m.store.Put(m.geom.PosOf(v), blocks[0])
+	if m.known != nil && msg.From >= 1 && msg.From < len(m.known) {
+		// The computing slave now holds its own output block.
+		m.knownMu.Lock()
+		m.known[msg.From][v] = true
+		m.knownMu.Unlock()
+	}
+	m.cfg.Trace.TaskEnd(msg.From-1, v)
+	m.ctrs.tasks.Add(1)
+	if m.ckpt != nil {
+		if err := m.ckpt.Append(v, msg.Payload); err != nil {
+			m.finish(err)
+			return
+		}
+	}
+	newly := m.parser.Complete(v)
+	m.afterComplete(v)
+	m.disp.Ready(newly...)
+	m.cfg.Trace.Ready(m.disp.ReadyCount())
+	if m.parser.Finished() {
+		m.finish(nil)
+	}
+}
+
+// afterComplete runs the memory-reclamation accounting for a finished
+// vertex and updates the peak-storage statistic.
+func (m *master[T]) afterComplete(v int32) {
+	if n := int64(m.store.Len()); n > m.ctrs.peakBlocks.Load() {
+		m.ctrs.peakBlocks.Store(n)
+	}
+	if m.uses == nil {
+		return
+	}
+	for _, d := range m.graph.Vertex(v).DataPre {
+		m.uses[d]--
+		if m.uses[d] == 0 {
+			m.store.Drop(m.geom.PosOf(d))
+			m.ctrs.blocksReclaimed.Add(1)
+		}
+	}
+}
+
+// restore replays a checkpoint stream (Config.Restore): recorded sub-tasks
+// are completed in file order — which is a valid execution order, see
+// internal/checkpoint — and the remaining computable frontier is handed to
+// the dispatcher. Without a restore stream the frontier is simply the DAG
+// roots.
+func (m *master[T]) restore() error {
+	ready := make(map[int32]bool)
+	for _, id := range m.parser.InitialReady() {
+		ready[id] = true
+	}
+	if m.cfg.Restore != nil {
+		n, err := checkpoint.Replay(m.cfg.Restore, func(v int32, payload []byte) error {
+			if int(v) < 0 || int(v) >= len(m.graph.Verts) || !m.graph.Vertex(v).Exists {
+				return fmt.Errorf("core: checkpoint names unknown vertex %d", v)
+			}
+			if !ready[v] {
+				return fmt.Errorf("core: checkpoint record for vertex %d out of order", v)
+			}
+			blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
+			if err != nil || len(blocks) != 1 {
+				return fmt.Errorf("core: checkpoint payload for vertex %d: %v", v, err)
+			}
+			m.store.Put(m.geom.PosOf(v), blocks[0])
+			delete(ready, v)
+			for _, nv := range m.parser.Complete(v) {
+				ready[nv] = true
+			}
+			m.afterComplete(v)
+			// Re-record restored work so the new checkpoint stream
+			// stays self-contained.
+			if m.ckpt != nil {
+				if err := m.ckpt.Append(v, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		m.ctrs.restored.Add(int64(n))
+	}
+	frontier := make([]int32, 0, len(ready))
+	for id := range ready {
+		frontier = append(frontier, id)
+	}
+	m.disp.Ready(frontier...)
+	if m.parser.Finished() {
+		m.finish(nil)
+	}
+	return nil
+}
+
+// faultToleranceLoop is the master fault-tolerance thread: it expires
+// overdue sub-tasks, cancels their registration and redistributes them
+// (Fig. 10).
+func (m *master[T]) faultToleranceLoop() {
+	ticker := time.NewTicker(m.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case now := <-ticker.C:
+			for _, e := range m.ot.ExpireBefore(now) {
+				m.reg.Cancel(e.ID)
+				if int(m.reg.Attempts(e.ID)) >= m.cfg.MaxAttempts {
+					m.finish(fmt.Errorf("core: sub-task %d timed out %d times (MaxAttempts); giving up", e.ID, e.Attempt))
+					return
+				}
+				m.ctrs.redistributions.Add(1)
+				m.disp.Requeue(e.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dp"
+	"repro/internal/matrix"
+)
+
+// With ReclaimBlocks the master must release consumed blocks and still
+// produce a correct final corner; the peak block count stays well below
+// the grid size.
+func TestReclaimBlocksWavefront(t *testing.T) {
+	a := dp.RandomDNA(120, 81)
+	b := dp.RandomDNA(120, 82)
+	e := dp.NewEditDistance(a, b)
+	cfg := core.Config{
+		Slaves: 3, Threads: 2,
+		ProcPartition:   dag.Square(12), // 10x10 grid
+		ThreadPartition: dag.Square(4),
+		ReclaimBlocks:   true,
+		RunTimeout:      time.Minute,
+	}
+	res, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BlocksReclaimed == 0 {
+		t.Fatalf("nothing reclaimed: %+v", res.Stats)
+	}
+	if res.Stats.PeakBlocks >= 100 {
+		t.Fatalf("peak blocks %d not below grid size 100", res.Stats.PeakBlocks)
+	}
+	// The bottom-right block is consumed by nobody and must survive with
+	// the correct distance.
+	if got, want := res.Store.Cell(119, 119), e.Sequential()[119][119]; got != want {
+		t.Fatalf("final cell %d != %d", got, want)
+	}
+	if res.Store.Len() >= 100 {
+		t.Fatalf("store still holds %d blocks", res.Store.Len())
+	}
+}
+
+// Reclamation must also be correct for patterns with wide data regions
+// (triangular): blocks stay alive exactly as long as a consumer remains.
+func TestReclaimBlocksTriangular(t *testing.T) {
+	nu := dp.NewNussinov(dp.RandomRNA(60, 83))
+	cfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(4),
+		ReclaimBlocks:   true,
+		RunTimeout:      time.Minute,
+	}
+	res, err := core.Run(nu.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Store.Cell(0, 59), nu.Sequential()[0][59]; got != want {
+		t.Fatalf("final cell %d != %d", got, want)
+	}
+}
+
+func TestCheckpointRestoreFullCycle(t *testing.T) {
+	a := dp.RandomDNA(80, 84)
+	b := dp.RandomDNA(80, 85)
+	e := dp.NewEditDistance(a, b)
+	base := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10), // 8x8 grid, 64 tasks
+		ThreadPartition: dag.Square(4),
+		RunTimeout:      time.Minute,
+	}
+
+	// First run: record a checkpoint.
+	var ck bytes.Buffer
+	cfg := base
+	cfg.Checkpoint = &ck
+	res1, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.Tasks != 64 {
+		t.Fatalf("tasks = %d", res1.Stats.Tasks)
+	}
+	full := ck.Bytes()
+
+	// Simulate a crash partway: keep roughly half the checkpoint, torn
+	// mid-record.
+	cut := len(full) / 2
+	partial := bytes.NewReader(full[:cut])
+
+	cfg = base
+	cfg.Restore = partial
+	res2, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Restored == 0 {
+		t.Fatal("nothing restored from checkpoint")
+	}
+	if res2.Stats.Restored+res2.Stats.Tasks != 64 {
+		t.Fatalf("restored %d + computed %d != 64", res2.Stats.Restored, res2.Stats.Tasks)
+	}
+	if res2.Stats.Tasks >= 64 {
+		t.Fatalf("restore saved no work: computed %d", res2.Stats.Tasks)
+	}
+	equalMatrices(t, "editdist-restore", res2.Matrix(), e.Sequential())
+}
+
+func TestRestoreCompleteCheckpointComputesNothing(t *testing.T) {
+	nu := dp.NewNussinov(dp.RandomRNA(40, 86))
+	base := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(5),
+		RunTimeout:      time.Minute,
+	}
+	var ck bytes.Buffer
+	cfg := base
+	cfg.Checkpoint = &ck
+	if _, err := core.Run(nu.Problem(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = base
+	cfg.Restore = bytes.NewReader(ck.Bytes())
+	res, err := core.Run(nu.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tasks != 0 {
+		t.Fatalf("computed %d tasks despite complete checkpoint", res.Stats.Tasks)
+	}
+	equalMatrices(t, "nussinov-full-restore", res.Matrix(), nu.Sequential())
+}
+
+func TestCheckpointChaining(t *testing.T) {
+	// A restored run with its own checkpoint must emit a self-contained
+	// stream (restored records re-appended), so a second resume works.
+	e := dp.NewEditDistance(dp.RandomDNA(60, 87), dp.RandomDNA(60, 88))
+	base := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(5),
+		RunTimeout:      time.Minute,
+	}
+	var ck1 bytes.Buffer
+	cfg := base
+	cfg.Checkpoint = &ck1
+	if _, err := core.Run(e.Problem(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	half := ck1.Bytes()[:ck1.Len()/2]
+
+	var ck2 bytes.Buffer
+	cfg = base
+	cfg.Restore = bytes.NewReader(half)
+	cfg.Checkpoint = &ck2
+	if _, err := core.Run(e.Problem(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume again from the second (complete) stream: zero computation.
+	cfg = base
+	cfg.Restore = bytes.NewReader(ck2.Bytes())
+	res, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tasks != 0 {
+		t.Fatalf("computed %d tasks after chained checkpoint", res.Stats.Tasks)
+	}
+	equalMatrices(t, "editdist-chained", res.Matrix(), e.Sequential())
+}
+
+func TestRestoreRejectsForeignCheckpoint(t *testing.T) {
+	// A checkpoint from a different problem geometry must be rejected,
+	// not silently applied.
+	e1 := dp.NewEditDistance(dp.RandomDNA(60, 89), dp.RandomDNA(60, 90))
+	var ck bytes.Buffer
+	cfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(5),
+		Checkpoint:      &ck,
+		RunTimeout:      time.Minute,
+	}
+	if _, err := core.Run(e1.Problem(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := dp.NewEditDistance(dp.RandomDNA(30, 91), dp.RandomDNA(30, 92))
+	cfg2 := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10), // 3x3 grid: vertex ids out of range
+		ThreadPartition: dag.Square(5),
+		Restore:         bytes.NewReader(ck.Bytes()),
+		RunTimeout:      time.Minute,
+	}
+	if _, err := core.Run(e2.Problem(), cfg2); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+}
+
+func TestReclaimWithCheckpointAndFaults(t *testing.T) {
+	// All three mechanisms together: reclamation, checkpointing and a
+	// crashed slave.
+	e := dp.NewEditDistance(dp.RandomDNA(60, 93), dp.RandomDNA(60, 94))
+	var ck bytes.Buffer
+	cfg := core.Config{
+		Slaves: 3, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(4),
+		ReclaimBlocks:   true,
+		Checkpoint:      &ck,
+		TaskTimeout:     150 * time.Millisecond,
+		CheckInterval:   20 * time.Millisecond,
+		RunTimeout:      time.Minute,
+		Faults:          core.FaultPlan{CrashOnTask: map[int]int{1: 2}},
+	}
+	res, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Store.Cell(59, 59), e.Sequential()[59][59]; got != want {
+		t.Fatalf("final cell %d != %d", got, want)
+	}
+	if res.Stats.BlocksReclaimed == 0 || res.Stats.Redistributions == 0 {
+		t.Fatalf("expected reclamation and redistribution: %+v", res.Stats)
+	}
+}
+
+// Out-of-core mode: the master keeps only SpillBudget blocks in memory,
+// spilling the rest to disk, and still produces a correct matrix.
+func TestSpillStoreRun(t *testing.T) {
+	a := dp.RandomDNA(100, 95)
+	b := dp.RandomDNA(100, 96)
+	e := dp.NewEditDistance(a, b)
+	cfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10), // 10x10 grid = 100 blocks
+		ThreadPartition: dag.Square(5),
+		SpillDir:        t.TempDir(),
+		SpillBudget:     8,
+		RunTimeout:      time.Minute,
+	}
+	res, err := core.Run(e.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMatrices(t, "editdist-spill", res.Matrix(), e.Sequential())
+	ss, ok := res.Store.(*matrix.SpillStore[int32])
+	if !ok {
+		t.Fatalf("store is %T, want SpillStore", res.Store)
+	}
+	if ss.InMemory() > 8 {
+		t.Fatalf("in-memory blocks %d exceed budget", ss.InMemory())
+	}
+	spills, loads := ss.IO()
+	if spills == 0 || loads == 0 {
+		t.Fatalf("expected spill traffic, got %d/%d", spills, loads)
+	}
+}
+
+// Spill mode combined with a triangular pattern (wide gathers reload many
+// spilled blocks) and reclamation.
+func TestSpillStoreNussinovWithReclaim(t *testing.T) {
+	nu := dp.NewNussinov(dp.RandomRNA(60, 97))
+	cfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(10),
+		ThreadPartition: dag.Square(4),
+		SpillDir:        t.TempDir(),
+		SpillBudget:     4,
+		ReclaimBlocks:   true,
+		RunTimeout:      time.Minute,
+	}
+	res, err := core.Run(nu.Problem(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Store.Cell(0, 59), nu.Sequential()[0][59]; got != want {
+		t.Fatalf("final cell %d != %d", got, want)
+	}
+}

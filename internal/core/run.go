@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Run executes problem p on an in-process emulated cluster: one master
+// rank plus cfg.Slaves slave ranks connected by a channel transport with
+// cfg.Latency, each slave running cfg.Threads compute goroutines. It
+// blocks until the DP matrix is complete and returns the blocked result
+// with run statistics.
+func Run[T any](p Problem[T], cfg Config) (*Result[T], error) {
+	cfg, err := prepare(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nw := comm.NewChanNetwork(cfg.Slaves+1, cfg.Latency)
+	defer nw.Close()
+	ctrs := &counters{}
+	faults := newFaultState(cfg.Faults)
+
+	var slaves sync.WaitGroup
+	for s := 1; s <= cfg.Slaves; s++ {
+		slaves.Add(1)
+		go func(s int) {
+			defer slaves.Done()
+			// Slave errors surface as master-side timeouts; the
+			// slave loop itself only fails on codec bugs, which the
+			// master also detects.
+			_ = runSlave(p, cfg, nw.Endpoint(s), faults, ctrs)
+		}(s)
+	}
+
+	start := time.Now()
+	res, err := runMaster(p, cfg, nw.Endpoint(0), ctrs)
+	elapsed := time.Since(start)
+	nw.Close()
+	slaves.Wait()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ctrs.snapshot()
+	res.Stats.Elapsed = elapsed
+	res.Stats.Messages, res.Stats.PayloadBytes = nw.Traffic()
+	return res, nil
+}
+
+// RunMaster executes only the master part over an externally provided
+// transport (e.g. comm.ListenMaster for a real multi-process TCP cluster).
+// cfg.Slaves is taken from the transport size. Every worker process must
+// run RunSlave with an identical Problem and Config.
+func RunMaster[T any](p Problem[T], cfg Config, tr comm.Transport) (*Result[T], error) {
+	cfg.Slaves = tr.Size() - 1
+	cfg, err := prepare(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrs := &counters{}
+	start := time.Now()
+	res, err := runMaster(p, cfg, tr, ctrs)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ctrs.snapshot()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunSlave executes only the slave part over an externally provided
+// transport (e.g. comm.DialWorker). It returns when the master signals the
+// end of scheduling.
+func RunSlave[T any](p Problem[T], cfg Config, tr comm.Transport) error {
+	cfg.Slaves = tr.Size() - 1
+	cfg, err := prepare(p, cfg)
+	if err != nil {
+		return err
+	}
+	return runSlave(p, cfg, tr, newFaultState(cfg.Faults), &counters{})
+}
+
+func prepare[T any](p Problem[T], cfg Config) (Config, error) {
+	if p.Kernel == nil {
+		return cfg, fmt.Errorf("core: problem %q has no kernel", p.Name)
+	}
+	if p.Codec == nil {
+		return cfg, fmt.Errorf("core: problem %q has no codec", p.Name)
+	}
+	return cfg.withDefaults(p.Size)
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dag"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// runSlave executes the slave part (Figs. 11-12 of the paper) over
+// transport tr: announce idleness, receive a processor-level sub-task,
+// re-partition it with thread_partition_size into a slave DAG, execute the
+// sub-sub-tasks on the slave worker pool, and return the computed block.
+// It returns when the master sends the end signal or the transport closes.
+func runSlave[T any](p Problem[T], cfg Config, tr comm.Transport, faults *faultState, ctrs *counters) error {
+	geom := dag.MatrixGeometry(p.Size, cfg.ProcPartition)
+	rank := tr.Rank()
+	// cache holds every block this slave has received or computed when
+	// delta shipping is enabled; blocks are immutable once complete, so
+	// the cache never goes stale within a run.
+	var cache []*matrix.Block[T]
+	if err := tr.Send(0, comm.Message{Kind: comm.KindIdle}); err != nil {
+		return err
+	}
+	for {
+		msg, err := tr.Recv()
+		if err != nil {
+			return nil // transport closed: the run is over
+		}
+		switch msg.Kind {
+		case comm.KindEnd:
+			return nil
+		case comm.KindTask:
+			if faults.crashNow(rank) {
+				// Injected node failure: die without a word.
+				return nil
+			}
+			if d := faults.stallTask(msg.Vertex); d > 0 {
+				time.Sleep(d)
+			}
+			inputs, err := matrix.DecodeBlocks(p.Codec, msg.Payload)
+			if err != nil {
+				return fmt.Errorf("core: slave %d decoding task %d: %w", rank, msg.Vertex, err)
+			}
+			if cfg.DeltaShipping {
+				cache = append(cache, inputs...)
+				inputs = cache
+			}
+			rect := geom.Rect(geom.PosOf(msg.Vertex))
+			out := computeBlock(p, cfg, rect, inputs, faults, msg.Vertex, ctrs)
+			if cfg.DeltaShipping {
+				cache = append(cache, out)
+			}
+			payload, err := matrix.EncodeBlocks(p.Codec, []*matrix.Block[T]{out})
+			if err != nil {
+				return fmt.Errorf("core: slave %d encoding result %d: %w", rank, msg.Vertex, err)
+			}
+			if err := tr.Send(0, comm.Message{
+				Kind: comm.KindResult, Vertex: msg.Vertex, Attempt: msg.Attempt, Payload: payload,
+			}); err != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// jitterFactor returns a deterministic multiplier in [1-amp, 1+amp) keyed
+// by the processor-level task identity (splitmix64 finalizer). Keying at
+// task granularity models content-dependent block cost — real DP blocks
+// differ in branch behaviour, cache footprint and node background load —
+// which is the variance a static schedule cannot adapt to. Runs remain
+// reproducible.
+func jitterFactor(proc, sub int32, amp float64) float64 {
+	if amp <= 0 {
+		return 1
+	}
+	_ = sub // sub-task share the task's factor; see above
+	h := uint64(uint32(proc)) + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	u := float64(h%(1<<20))/float64(1<<19) - 1 // [-1, 1)
+	return 1 + amp*u
+}
+
+// computeBlock is the thread-level parallelization of one processor-level
+// sub-task: the block's cell region is partitioned again with
+// thread_partition_size, the slave DAG Data Driven Model is built over the
+// sub-blocks, and a pool of compute goroutines drains it. The slave
+// fault-tolerance goroutine watches the slave overtime queue, re-pushing
+// overdue sub-sub-tasks; panicking workers are recovered in place (the
+// goroutine equivalent of restarting a dead compute thread).
+func computeBlock[T any](p Problem[T], cfg Config, rect dag.Rect, inputs []*matrix.Block[T], faults *faultState, procID int32, ctrs *counters) *matrix.Block[T] {
+	out := matrix.NewBlock[T](rect)
+	pat := p.Kernel.Pattern()
+	tgeom := dag.NewGeometry(rect, cfg.ThreadPartition)
+	graph := dag.Build(pat, tgeom)
+	parser := dag.NewParser(graph)
+
+	var disp sched.Dispatcher
+	switch cfg.Policy {
+	case PolicyBlockCyclic:
+		disp = sched.NewBlockCyclic(graph, cfg.Threads, cfg.BCWBlockCols)
+	default:
+		// PolicyAffinity degenerates to plain dynamic here: inside one
+		// node memory is shared, so locality has nothing to optimize.
+		disp = sched.NewDynamic()
+	}
+	disp.Ready(parser.InitialReady()...)
+
+	n := p.Size
+	exists := func(i, j int) bool {
+		return i >= 0 && j >= 0 && i < n.Rows && j < n.Cols && pat.CellExists(i, j)
+	}
+	// Reads of region cells outside the current sub-block resolve against
+	// the shared output block (its cells are complete by DAG order);
+	// reads outside the region resolve against the shipped input blocks.
+	readLayers := append([]*matrix.Block[T]{out}, inputs...)
+
+	ot := sched.NewOvertimeQueue()
+	done := make(chan struct{})
+	var attemptCtr atomic.Int32
+
+	var acceptMu sync.Mutex
+	accepted := make([]bool, len(graph.Verts))
+	panics := make([]int, len(graph.Verts))
+	left := graph.N
+
+	// accept commits a computed sub-block exactly once: the scratch cells
+	// are copied into the shared output block, the slave DAG is updated,
+	// and newly computable sub-sub-tasks are released. Duplicate
+	// executions (after a timeout re-push) are discarded here.
+	accept := func(sub int32, scratch *matrix.Block[T]) {
+		acceptMu.Lock()
+		if accepted[sub] {
+			acceptMu.Unlock()
+			return
+		}
+		accepted[sub] = true
+		for i := scratch.Rect.Row0; i < scratch.Rect.Row0+scratch.Rect.Rows; i++ {
+			for j := scratch.Rect.Col0; j < scratch.Rect.Col0+scratch.Rect.Cols; j++ {
+				out.Set(i, j, scratch.At(i, j))
+			}
+		}
+		left--
+		finished := left == 0
+		acceptMu.Unlock()
+
+		ot.Remove(sub)
+		disp.Ready(parser.Complete(sub)...)
+		if finished {
+			close(done)
+			disp.Close()
+		}
+	}
+
+	requeue := func(sub int32) {
+		acceptMu.Lock()
+		dup := accepted[sub]
+		acceptMu.Unlock()
+		if !dup {
+			disp.Requeue(sub)
+		}
+	}
+
+	// execute runs one sub-sub-task in a scratch block, recovering from
+	// kernel panics (worker restart semantics). A sub-sub-task that
+	// panics more than MaxAttempts times indicates a deterministic
+	// kernel bug, not a transient fault: the panic is re-raised so the
+	// defect surfaces instead of looping through recovery forever.
+	execute := func(w int, sub int32) {
+		defer func() {
+			if r := recover(); r != nil {
+				acceptMu.Lock()
+				panics[sub]++
+				giveUp := panics[sub] >= cfg.MaxAttempts
+				acceptMu.Unlock()
+				if giveUp {
+					panic(fmt.Sprintf("core: sub-task %v panicked %d times (MaxAttempts): %v", SubTaskID{Proc: procID, Sub: sub}, cfg.MaxAttempts, r))
+				}
+				ctrs.workerRestarts.Add(1)
+				requeue(sub)
+			}
+		}()
+		subRect := tgeom.Rect(graph.Vertex(sub).Pos)
+		scratch := matrix.NewBlock[T](subRect)
+		view := matrix.NewView(scratch, readLayers, exists, p.Kernel.Boundary)
+		ot.Add(sub, attemptCtr.Add(1), time.Now().Add(cfg.SubTaskTimeout))
+
+		id := SubTaskID{Proc: procID, Sub: sub}
+		if faults.panicSubTask(id) {
+			panic(fmt.Sprintf("core: injected sub-task panic %v", id))
+		}
+		if d := faults.stallSubTask(id); d > 0 {
+			time.Sleep(d)
+		}
+
+		kern := p.Kernel
+		cost, _ := any(kern).(CostModel)
+		units := 0.0
+		pat.CellOrder(subRect, func(i, j int) {
+			scratch.Set(i, j, kern.Cell(view, i, j))
+			if cost != nil {
+				units += cost.CellCost(i, j)
+			} else {
+				units++
+			}
+		})
+		if cfg.WorkDelayPerCell > 0 {
+			// Emulated computation weight; see Config.WorkDelayPerCell,
+			// Config.WorkJitter and the CostModel interface.
+			units *= jitterFactor(procID, sub, cfg.WorkJitter)
+			time.Sleep(time.Duration(units * float64(cfg.WorkDelayPerCell)))
+		}
+		ctrs.subTasks.Add(1)
+		accept(sub, scratch)
+	}
+
+	for w := 0; w < cfg.Threads; w++ {
+		go func(w int) {
+			for {
+				sub, ok := disp.Next(w)
+				if !ok {
+					return
+				}
+				execute(w, sub)
+			}
+		}(w)
+	}
+
+	// Slave fault-tolerance thread: watch the slave overtime queue and
+	// re-push overdue sub-sub-tasks.
+	go func() {
+		ticker := time.NewTicker(cfg.CheckInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				for _, e := range ot.ExpireBefore(now) {
+					ctrs.subRequeues.Add(1)
+					requeue(e.ID)
+				}
+			}
+		}
+	}()
+
+	<-done
+	return out
+}

@@ -1,0 +1,130 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// Deriving the wavefront pattern from its cell reads must produce a block
+// DAG equivalent to the hand-written Wavefront (same reachability), and
+// pass all invariants.
+func TestFromCellDepsWavefront(t *testing.T) {
+	derived := FromCellDeps("derived-wavefront", nil, func(i, j int, emit func(int, int)) {
+		emit(i-1, j)
+		emit(i, j-1)
+		emit(i-1, j-1)
+	})
+	g := MatrixGeometry(Square(12), Square(3))
+	if err := DeriveValidate(derived, g, func(i, j int, emit func(int, int)) {
+		emit(i-1, j)
+		emit(i, j-1)
+		emit(i-1, j-1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same existing vertex set and same root as the hand-written pattern.
+	dGr := Build(derived, g)
+	wGr := Build(Wavefront{}, g)
+	if dGr.N != wGr.N {
+		t.Fatalf("derived N=%d, wavefront N=%d", dGr.N, wGr.N)
+	}
+	dRoots, wRoots := dGr.Roots(), wGr.Roots()
+	if len(dRoots) != 1 || len(wRoots) != 1 || dRoots[0] != wRoots[0] {
+		t.Fatalf("roots differ: %v vs %v", dRoots, wRoots)
+	}
+	// Derived data deps must include everything the hand-written pattern
+	// declares (the derived set is exact, the hand-written is a superset
+	// formulation at block level).
+	var dBuf, wBuf []Pos
+	for r := 0; r < g.Grid.Rows; r++ {
+		for c := 0; c < g.Grid.Cols; c++ {
+			p := Pos{r, c}
+			dBuf = derived.DataDeps(g, p, dBuf[:0])
+			wBuf = (Wavefront{}).DataDeps(g, p, wBuf[:0])
+			dSet := make(map[Pos]bool)
+			for _, q := range dBuf {
+				dSet[q] = true
+			}
+			for _, q := range wBuf {
+				if !dSet[q] {
+					t.Fatalf("block %v: hand-written dep %v missing from derived set %v", p, q, dBuf)
+				}
+			}
+		}
+	}
+}
+
+// Deriving the knapsack-style pattern (row i reads row i-1 at columns
+// <= j): derived blocks must respect the same-row west edges for
+// multi-row blocks, which the hand-written RowOnly handles specially.
+func TestFromCellDepsKnapsack(t *testing.T) {
+	weights := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	cellDeps := func(i, j int, emit func(int, int)) {
+		if i == 0 {
+			return
+		}
+		emit(i-1, j)
+		if w := j - weights[i%len(weights)]; w >= 0 {
+			emit(i-1, w)
+		}
+	}
+	derived := FromCellDeps("derived-knapsack", nil, cellDeps)
+	for _, g := range []Geometry{
+		MatrixGeometry(Size{8, 20}, Size{1, 5}),
+		MatrixGeometry(Size{8, 20}, Size{3, 4}), // multi-row blocks
+	} {
+		if err := DeriveValidate(derived, g, cellDeps); err != nil {
+			t.Fatalf("%v: %v", g.Block, err)
+		}
+	}
+}
+
+// A bottom-up recurrence (reads i+1) must be flagged as incompatible with
+// the default row-major cell order.
+func TestDeriveValidateRejectsBottomUp(t *testing.T) {
+	cellDeps := func(i, j int, emit func(int, int)) {
+		emit(i+1, j) // reads the row below: row-major cannot work
+	}
+	derived := FromCellDeps("derived-bottomup", func(i, j int) bool { return i <= j }, cellDeps)
+	g := MatrixGeometry(Square(8), Square(2))
+	if err := DeriveValidate(derived, g, cellDeps); err == nil {
+		t.Fatal("bottom-up recurrence accepted with row-major order")
+	}
+}
+
+// Reads outside the region are ignored (boundary reads).
+func TestFromCellDepsIgnoresBoundaryReads(t *testing.T) {
+	derived := FromCellDeps("derived-boundary", nil, func(i, j int, emit func(int, int)) {
+		emit(i-1, j) // row -1 reads fall outside for the first row
+		emit(-5, -5)
+	})
+	g := MatrixGeometry(Square(6), Square(2))
+	gr := Build(derived, g)
+	if len(gr.Roots()) != 3 { // whole first block row is free
+		t.Fatalf("roots = %v, want the 3 first-row blocks", gr.Roots())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	g := MatrixGeometry(Square(6), Square(3))
+	if err := WriteDOT(&sb, Triangular{}, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "b0_0", "b0_1 -> b0_1", "}"} {
+		if want == "b0_1 -> b0_1" {
+			continue // no self edges expected; checked below
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "b0_0 -> b0_0") {
+		t.Fatal("self edge emitted")
+	}
+	// Triangular 2x2 grid: 3 blocks, diagonal roots feed (0,1).
+	if !strings.Contains(out, "b0_0 -> b0_1") || !strings.Contains(out, "b1_1 -> b0_1") {
+		t.Fatalf("expected diagonal->corner edges:\n%s", out)
+	}
+}

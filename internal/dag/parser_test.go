@@ -1,0 +1,150 @@
+package dag
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// drainParser executes the whole DAG through the parser in a random order
+// among computable vertices and returns the completion order.
+func drainParser(t *testing.T, gr *Graph, rng *rand.Rand) []int32 {
+	t.Helper()
+	p := NewParser(gr)
+	ready := append([]int32(nil), p.InitialReady()...)
+	var order []int32
+	for len(ready) > 0 {
+		k := rng.Intn(len(ready))
+		id := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, id)
+		ready = append(ready, p.Complete(id)...)
+	}
+	if !p.Finished() {
+		t.Fatalf("parser not finished: %d vertices remain", p.Remaining())
+	}
+	return order
+}
+
+func TestParserCompletesWholeDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, pat := range libraryPatterns() {
+		gr := Build(pat, MatrixGeometry(Square(15), Square(4)))
+		order := drainParser(t, gr, rng)
+		if len(order) != gr.N {
+			t.Errorf("%s: completed %d of %d vertices", pat.Name(), len(order), gr.N)
+		}
+	}
+}
+
+// Property: any random drain order is a valid topological order (every
+// precursor completes before its successor) — for every library pattern.
+func TestParserEmitsTopologicalOrder(t *testing.T) {
+	for _, pat := range libraryPatterns() {
+		pat := pat
+		f := func(seed int64, n, b uint8) bool {
+			g := MatrixGeometry(Square(int(n%20)+1), Square(int(b%5)+1))
+			gr := Build(pat, g)
+			rng := rand.New(rand.NewSource(seed))
+			p := NewParser(gr)
+			ready := append([]int32(nil), p.InitialReady()...)
+			done := make(map[int32]bool)
+			var preBuf []Pos
+			for len(ready) > 0 {
+				k := rng.Intn(len(ready))
+				id := ready[k]
+				ready[k] = ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				preBuf = pat.Precursors(g, gr.Vertex(id).Pos, preBuf[:0])
+				for _, q := range preBuf {
+					if !done[g.ID(q)] {
+						return false
+					}
+				}
+				done[id] = true
+				ready = append(ready, p.Complete(id)...)
+			}
+			return len(done) == gr.N
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", pat.Name(), err)
+		}
+	}
+}
+
+func TestParserConcurrentWorkers(t *testing.T) {
+	gr := Build(Wavefront{}, MatrixGeometry(Square(40), Square(2))) // 400 vertices
+	p := NewParser(gr)
+	work := make(chan int32, gr.N)
+	for _, id := range p.InitialReady() {
+		work <- id
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				newly := p.Complete(id)
+				mu.Lock()
+				completed++
+				last := completed == gr.N
+				mu.Unlock()
+				for _, n := range newly {
+					work <- n
+				}
+				if last {
+					close(work)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !p.Finished() {
+		t.Fatalf("parser not finished after concurrent drain: %d remain", p.Remaining())
+	}
+}
+
+func TestParserPanics(t *testing.T) {
+	gr := Build(Wavefront{}, MatrixGeometry(Square(4), Square(2)))
+	p := NewParser(gr)
+	ready := p.InitialReady()
+	// Completing a non-computable vertex panics.
+	mustPanic(t, func() { p.Complete(gr.Geom.ID(Pos{1, 1})) })
+	// Double completion panics.
+	p.Complete(ready[0])
+	mustPanic(t, func() { p.Complete(ready[0]) })
+}
+
+func TestParserRemaining(t *testing.T) {
+	gr := Build(Wavefront{}, MatrixGeometry(Square(4), Square(2)))
+	p := NewParser(gr)
+	if p.Remaining() != 4 {
+		t.Fatalf("Remaining = %d, want 4", p.Remaining())
+	}
+	ready := p.InitialReady()
+	p.Complete(ready[0])
+	if p.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", p.Remaining())
+	}
+	if !p.IsDone(ready[0]) {
+		t.Error("IsDone(completed) = false")
+	}
+}
+
+func TestGraphExisting(t *testing.T) {
+	gr := Build(Triangular{}, MatrixGeometry(Square(9), Square(3)))
+	ids := gr.Existing()
+	if len(ids) != gr.N {
+		t.Fatalf("Existing returned %d ids, N = %d", len(ids), gr.N)
+	}
+	for _, id := range ids {
+		if !gr.Vertex(id).Exists {
+			t.Fatalf("Existing returned nonexistent vertex %d", id)
+		}
+	}
+}

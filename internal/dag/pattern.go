@@ -1,0 +1,111 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class labels a pattern with the tD/eD taxonomy of Galil and Park used by
+// the paper: a problem of size n is tD/eD when the matrix has O(n^t) cells
+// and each cell reads O(n^e) other cells.
+type Class string
+
+const (
+	Class2D0D Class = "2D/0D"
+	Class2D1D Class = "2D/1D"
+	Class2D2D Class = "2D/2D"
+	Class1D0D Class = "1D/0D"
+	Class1D1D Class = "1D/1D"
+)
+
+// Pattern is a DAG Pattern Model: it defines which cells of the DP matrix
+// are computed, how blocks of cells depend on one another at any
+// granularity, and in which order the cells inside one block must be
+// evaluated.
+//
+// Block-level methods receive a Geometry so that the same pattern drives
+// both the processor-level DAG (geometry over the whole matrix) and every
+// thread-level DAG (geometry over one processor-level block). With a 1x1
+// block size they describe the cell-level DAG itself.
+type Pattern interface {
+	// Name is the library identifier of the pattern.
+	Name() string
+	// Class is the tD/eD classification.
+	Class() Class
+	// CellExists reports whether cell (i, j) is part of the computation.
+	CellExists(i, j int) bool
+	// BlockExists reports whether block p of geometry g contains at least
+	// one computed cell.
+	BlockExists(g Geometry, p Pos) bool
+	// Precursors appends to buf the direct topological precursors of
+	// block p within geometry g and returns the extended slice. The set
+	// must be minimal-ish but, together with transitivity, must cover
+	// every data dependency inside the geometry's region.
+	Precursors(g Geometry, p Pos, buf []Pos) []Pos
+	// DataDeps appends to buf every block of geometry g whose cells the
+	// recurrence may read while computing block p (the
+	// data-communication level of the model).
+	DataDeps(g Geometry, p Pos, buf []Pos) []Pos
+	// CellOrder visits every computed cell of region r in an order that
+	// respects the cell-level dependencies of the recurrence (assuming
+	// all cells outside r that the cells of r read are already
+	// available).
+	CellOrder(r Rect, visit func(i, j int))
+}
+
+// library is the DAG Pattern Model library: built-in patterns plus
+// user-registered ones.
+var library = struct {
+	sync.RWMutex
+	m map[string]Pattern
+}{m: make(map[string]Pattern)}
+
+// Register adds a pattern to the DAG Pattern Model library. It panics if
+// the name is already taken; user-defined patterns must use fresh names.
+func Register(p Pattern) {
+	library.Lock()
+	defer library.Unlock()
+	if _, dup := library.m[p.Name()]; dup {
+		panic(fmt.Sprintf("dag: pattern %q registered twice", p.Name()))
+	}
+	library.m[p.Name()] = p
+}
+
+// Lookup retrieves a pattern from the library by name.
+func Lookup(name string) (Pattern, bool) {
+	library.RLock()
+	defer library.RUnlock()
+	p, ok := library.m[name]
+	return p, ok
+}
+
+// LibraryNames returns the sorted names of all registered patterns.
+func LibraryNames() []string {
+	library.RLock()
+	defer library.RUnlock()
+	names := make([]string, 0, len(library.m))
+	for n := range library.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// appendIf appends p to buf when the pattern pat considers it an existing
+// block of geometry g.
+func appendIf(pat Pattern, g Geometry, p Pos, buf []Pos) []Pos {
+	if g.InGrid(p) && pat.BlockExists(g, p) {
+		buf = append(buf, p)
+	}
+	return buf
+}
+
+// rowMajor visits r top-to-bottom, left-to-right.
+func rowMajor(r Rect, visit func(i, j int)) {
+	for i := r.Row0; i < r.Row0+r.Rows; i++ {
+		for j := r.Col0; j < r.Col0+r.Cols; j++ {
+			visit(i, j)
+		}
+	}
+}

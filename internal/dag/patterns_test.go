@@ -1,0 +1,376 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func libraryPatterns() []Pattern {
+	return []Pattern{Wavefront{}, RowColumn{}, Triangular{}, Dominance{}, RowOnly{}, Chain{}}
+}
+
+// Every library pattern, on a spread of geometries, must (a) be acyclic
+// with all vertices reachable, (b) have every data dependency covered by
+// the topological order, and (c) visit each existing cell exactly once in
+// CellOrder.
+func TestLibraryPatternInvariants(t *testing.T) {
+	geoms := []Geometry{
+		MatrixGeometry(Square(1), Square(1)),
+		MatrixGeometry(Square(7), Square(1)),
+		MatrixGeometry(Square(12), Square(3)),
+		MatrixGeometry(Square(12), Square(5)),
+		MatrixGeometry(Size{9, 17}, Size{4, 3}),
+		NewGeometry(Rect{6, 6, 6, 6}, Square(2)), // thread-level style region
+	}
+	for _, pat := range libraryPatterns() {
+		for _, g := range geoms {
+			if err := ValidateAcyclic(pat, g); err != nil {
+				t.Errorf("%s %v: %v", pat.Name(), g.Region, err)
+			}
+			if err := ValidateTopology(pat, g); err != nil {
+				t.Errorf("%s %v: %v", pat.Name(), g.Region, err)
+			}
+			if err := ValidateCellOrder(pat, g); err != nil {
+				t.Errorf("%s %v: %v", pat.Name(), g.Region, err)
+			}
+		}
+	}
+}
+
+// Property test: random square geometries keep the invariants.
+func TestLibraryPatternInvariantsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-check sweep")
+	}
+	for _, pat := range libraryPatterns() {
+		pat := pat
+		f := func(n, br, bc uint8) bool {
+			g := MatrixGeometry(Square(int(n%24)+1), Size{int(br%6) + 1, int(bc%6) + 1})
+			return ValidateAcyclic(pat, g) == nil &&
+				ValidateTopology(pat, g) == nil &&
+				ValidateCellOrder(pat, g) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", pat.Name(), err)
+		}
+	}
+}
+
+func TestWavefrontDegrees(t *testing.T) {
+	g := MatrixGeometry(Square(12), Square(4)) // 3x3 grid
+	gr := Build(Wavefront{}, g)
+	if gr.N != 9 {
+		t.Fatalf("N = %d, want 9", gr.N)
+	}
+	if got := gr.Vertex(g.ID(Pos{0, 0})).PreCnt; got != 0 {
+		t.Errorf("corner PreCnt = %d, want 0", got)
+	}
+	if got := gr.Vertex(g.ID(Pos{1, 1})).PreCnt; got != 2 {
+		t.Errorf("interior PreCnt = %d, want 2", got)
+	}
+	roots := gr.Roots()
+	if len(roots) != 1 || roots[0] != g.ID(Pos{0, 0}) {
+		t.Errorf("roots = %v, want [top-left]", roots)
+	}
+}
+
+func TestTriangularExistence(t *testing.T) {
+	g := MatrixGeometry(Square(12), Square(4)) // 3x3 grid over upper triangle
+	gr := Build(Triangular{}, g)
+	// Blocks with Row <= Col exist: 6 of 9.
+	if gr.N != 6 {
+		t.Fatalf("N = %d, want 6", gr.N)
+	}
+	tr := Triangular{}
+	if tr.BlockExists(g, Pos{2, 0}) {
+		t.Error("block strictly below diagonal should not exist")
+	}
+	if !tr.BlockExists(g, Pos{1, 1}) {
+		t.Error("diagonal block should exist")
+	}
+	// All three diagonal blocks are roots (the base case of the recurrence).
+	roots := gr.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("roots = %v, want the 3 diagonal blocks", roots)
+	}
+	for _, id := range roots {
+		p := g.PosOf(id)
+		if p.Row != p.Col {
+			t.Errorf("root %v is not on the diagonal", p)
+		}
+	}
+}
+
+func TestTriangularNonSquareBlocks(t *testing.T) {
+	// Rectangular blocks straddle the diagonal irregularly; invariants
+	// must still hold.
+	g := MatrixGeometry(Square(20), Size{3, 5})
+	if err := ValidateAcyclic(Triangular{}, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTopology(Triangular{}, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangularCellOrderRespectsDeps(t *testing.T) {
+	// Within one block, (i+1, j), (i, j-1), (i+1, j-1) must come before
+	// (i, j).
+	r := Rect{2, 2, 5, 5}
+	seen := make(map[[2]int]int)
+	step := 0
+	Triangular{}.CellOrder(r, func(i, j int) {
+		for _, d := range [][2]int{{i + 1, j}, {i, j - 1}, {i + 1, j - 1}} {
+			di, dj := d[0], d[1]
+			if r.Contains(di, dj) && di <= dj {
+				if _, ok := seen[[2]int{di, dj}]; !ok {
+					t.Fatalf("cell (%d,%d) visited before its dependency (%d,%d)", i, j, di, dj)
+				}
+			}
+		}
+		seen[[2]int{i, j}] = step
+		step++
+	})
+	if len(seen) == 0 {
+		t.Fatal("no cells visited")
+	}
+}
+
+func TestRowColumnDataDeps(t *testing.T) {
+	g := MatrixGeometry(Square(20), Square(4)) // 5x5 grid
+	var buf []Pos
+	buf = RowColumn{}.DataDeps(g, Pos{2, 3}, buf)
+	want := map[Pos]bool{
+		{2, 0}: true, {2, 1}: true, {2, 2}: true, // row to the left
+		{0, 3}: true, {1, 3}: true, // column above
+		{1, 2}: true, // north-west diagonal
+	}
+	if len(buf) != len(want) {
+		t.Fatalf("DataDeps = %v, want %d blocks", buf, len(want))
+	}
+	for _, p := range buf {
+		if !want[p] {
+			t.Errorf("unexpected data dep %v", p)
+		}
+	}
+}
+
+func TestTriangularDataDepsIncludeSWCorner(t *testing.T) {
+	// Cell-level reads of (i+1, j-1) can land in block (r+1, c-1): the
+	// data region must include it.
+	g := MatrixGeometry(Square(20), Square(4))
+	var buf []Pos
+	buf = Triangular{}.DataDeps(g, Pos{1, 3}, buf)
+	found := false
+	for _, p := range buf {
+		if p == (Pos{2, 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DataDeps(1,3) = %v, missing south-west corner block (2,2)", buf)
+	}
+}
+
+func TestRowOnlyDegrees(t *testing.T) {
+	g := MatrixGeometry(Size{4, 8}, Size{1, 2}) // 4x4 grid
+	gr := Build(RowOnly{}, g)
+	// Whole first row is immediately computable.
+	roots := gr.Roots()
+	if len(roots) != 4 {
+		t.Fatalf("roots = %d, want 4 (entire first block row)", len(roots))
+	}
+	// Block (2, 3) depends on all four blocks of row 1 up to col 3.
+	if got := gr.Vertex(g.ID(Pos{2, 3})).PreCnt; got != 4 {
+		t.Errorf("PreCnt(2,3) = %d, want 4", got)
+	}
+	if got := gr.Vertex(g.ID(Pos{2, 0})).PreCnt; got != 1 {
+		t.Errorf("PreCnt(2,0) = %d, want 1", got)
+	}
+}
+
+func TestChainIsAPipeline(t *testing.T) {
+	g := MatrixGeometry(Size{1, 10}, Size{1, 2})
+	gr := Build(Chain{}, g)
+	if gr.N != 5 {
+		t.Fatalf("N = %d, want 5", gr.N)
+	}
+	roots := gr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("chain must have exactly one root, got %v", roots)
+	}
+}
+
+func TestDominanceDataDepsAreFullRectangle(t *testing.T) {
+	g := MatrixGeometry(Square(12), Square(4))
+	var buf []Pos
+	buf = Dominance{}.DataDeps(g, Pos{2, 2}, buf)
+	if len(buf) != 8 { // 3x3 rectangle minus self
+		t.Fatalf("DataDeps = %v, want 8 blocks", buf)
+	}
+}
+
+func TestLookupLibrary(t *testing.T) {
+	for _, name := range []string{NameWavefront, NameRowColumn, NameTriangular, NameDominance, NameRowOnly, NameChain} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := Lookup("no-such-pattern"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	names := LibraryNames()
+	if len(names) < 6 {
+		t.Errorf("library has %d patterns, want >= 6", len(names))
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	mustPanic(t, func() { Register(Wavefront{}) })
+}
+
+func TestCustomPatternDefaults(t *testing.T) {
+	c := Custom{PatternName: "test-default"}
+	g := MatrixGeometry(Square(6), Square(2))
+	if !c.CellExists(3, 3) {
+		t.Error("default CellExists should be true")
+	}
+	if !c.BlockExists(g, Pos{1, 1}) {
+		t.Error("default BlockExists should be true for in-grid positions")
+	}
+	if c.BlockExists(g, Pos{5, 5}) {
+		t.Error("BlockExists out of grid should be false")
+	}
+	if got := c.Precursors(g, Pos{1, 1}, nil); len(got) != 0 {
+		t.Errorf("default Precursors = %v, want empty", got)
+	}
+	n := 0
+	c.CellOrder(Rect{0, 0, 2, 3}, func(i, j int) { n++ })
+	if n != 6 {
+		t.Errorf("default CellOrder visited %d cells, want 6", n)
+	}
+	if err := ValidateAcyclic(c, g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomPatternBadTopologyDetected(t *testing.T) {
+	// A pattern whose data deps are NOT covered by precursors must be
+	// rejected by ValidateTopology.
+	bad := Custom{
+		PatternName: "test-bad",
+		PrecursorsFunc: func(g Geometry, p Pos, buf []Pos) []Pos {
+			if p.Col > 0 {
+				buf = append(buf, Pos{p.Row, p.Col - 1})
+			}
+			return buf
+		},
+		DataDepsFunc: func(g Geometry, p Pos, buf []Pos) []Pos {
+			if p.Row > 0 {
+				buf = append(buf, Pos{p.Row - 1, p.Col}) // not an ancestor
+			}
+			return buf
+		},
+	}
+	g := MatrixGeometry(Square(4), Square(2))
+	if err := ValidateTopology(bad, g); err == nil {
+		t.Error("ValidateTopology accepted a pattern with uncovered data deps")
+	}
+}
+
+func TestBuildPanicsOnBogusPrecursor(t *testing.T) {
+	bogus := Custom{
+		PatternName: "test-bogus",
+		PrecursorsFunc: func(g Geometry, p Pos, buf []Pos) []Pos {
+			return append(buf, Pos{-5, -5})
+		},
+	}
+	mustPanic(t, func() { Build(bogus, MatrixGeometry(Square(4), Square(2))) })
+}
+
+// DataDeps must not contain duplicates: the runtime refcounts blocks by
+// the data-dependency lists when memory reclamation is enabled.
+func TestLibraryPatternDataDepsUnique(t *testing.T) {
+	geoms := []Geometry{
+		MatrixGeometry(Square(18), Square(4)),
+		MatrixGeometry(Square(18), Size{3, 5}),
+	}
+	pats := append(libraryPatterns(), PrevRow{}, Banded{Width: 5})
+	for _, pat := range pats {
+		if _, ok := pat.(PrevRow); ok {
+			geoms = []Geometry{MatrixGeometry(Square(18), Size{1, 4})}
+		}
+		for _, g := range geoms {
+			var buf []Pos
+			for r := 0; r < g.Grid.Rows; r++ {
+				for c := 0; c < g.Grid.Cols; c++ {
+					p := Pos{r, c}
+					if !pat.BlockExists(g, p) {
+						continue
+					}
+					buf = pat.DataDeps(g, p, buf[:0])
+					seen := make(map[Pos]bool, len(buf))
+					for _, d := range buf {
+						if seen[d] {
+							t.Fatalf("%s: duplicate data dep %v of %v", pat.Name(), d, p)
+						}
+						seen[d] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrevRowInvariants(t *testing.T) {
+	g := MatrixGeometry(Size{10, 20}, Size{1, 4})
+	if err := ValidateAcyclic(PrevRow{}, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTopology(PrevRow{}, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCellOrder(PrevRow{}, g); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-row, multi-column blocks must be rejected loudly.
+	mustPanic(t, func() {
+		PrevRow{}.Precursors(MatrixGeometry(Size{10, 20}, Size{2, 4}), Pos{1, 1}, nil)
+	})
+	// A single block column is fine even with multi-row blocks.
+	g2 := MatrixGeometry(Size{10, 4}, Size{2, 4})
+	if err := ValidateTopology(PrevRow{}, g2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedInvariants(t *testing.T) {
+	for _, w := range []int{0, 2, 7, 30} {
+		pat := Banded{Width: w}
+		for _, g := range []Geometry{
+			MatrixGeometry(Square(20), Square(4)),
+			MatrixGeometry(Size{15, 25}, Size{4, 3}),
+		} {
+			if err := ValidateAcyclic(pat, g); err != nil {
+				t.Errorf("w=%d: %v", w, err)
+			}
+			if err := ValidateTopology(pat, g); err != nil {
+				t.Errorf("w=%d: %v", w, err)
+			}
+			if err := ValidateCellOrder(pat, g); err != nil {
+				t.Errorf("w=%d: %v", w, err)
+			}
+		}
+	}
+}
+
+func TestBandedBlockExistence(t *testing.T) {
+	pat := Banded{Width: 2}
+	g := MatrixGeometry(Square(20), Square(5))
+	if pat.BlockExists(g, Pos{0, 3}) {
+		t.Error("far off-diagonal block should not exist")
+	}
+	if !pat.BlockExists(g, Pos{1, 1}) || !pat.BlockExists(g, Pos{1, 0}) {
+		t.Error("near-diagonal blocks should exist")
+	}
+}

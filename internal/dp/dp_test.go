@@ -1,0 +1,348 @@
+package dp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomSeqReproducible(t *testing.T) {
+	a := RandomDNA(100, 42)
+	b := RandomDNA(100, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different sequences")
+	}
+	c := RandomDNA(100, 43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	for _, ch := range a {
+		if !bytes.ContainsRune([]byte(DNAAlphabet), rune(ch)) {
+			t.Fatalf("non-DNA letter %c", ch)
+		}
+	}
+}
+
+func TestMutateSeq(t *testing.T) {
+	a := RandomDNA(500, 1)
+	b := MutateSeq(a, DNAAlphabet, 0.1, 2)
+	if len(b) != len(a) {
+		t.Fatal("length changed")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 150 {
+		t.Fatalf("mutation count %d implausible for rate 0.1", diff)
+	}
+	if same := MutateSeq(a, DNAAlphabet, 0, 3); !bytes.Equal(a, same) {
+		t.Fatal("rate 0 changed the sequence")
+	}
+}
+
+func TestEditDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int32
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		e := NewEditDistance([]byte(c.a), []byte(c.b))
+		if got := e.Distance(e.Sequential()); got != c.want {
+			t.Errorf("edit(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCSKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int32
+	}{
+		{"ABCBDAB", "BDCABA", 4},
+		{"AGGTAB", "GXTXAYB", 4},
+		{"ABC", "DEF", 0},
+		{"SAME", "SAME", 4},
+	}
+	for _, c := range cases {
+		l := NewLCS([]byte(c.a), []byte(c.b))
+		seq := l.Sequential()
+		if got := seq[len(c.a)-1][len(c.b)-1]; got != c.want {
+			t.Errorf("lcs(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: edit distance is a metric-ish quantity: symmetric, zero iff
+// equal, and bounded by max(len).
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(sa, sb []byte, seed int64) bool {
+		a := RandomDNA(len(sa)%20+1, seed)
+		b := RandomDNA(len(sb)%20+1, seed+1)
+		eab := NewEditDistance(a, b)
+		eba := NewEditDistance(b, a)
+		dab := eab.Distance(eab.Sequential())
+		dba := eba.Distance(eba.Sequential())
+		if dab != dba {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		if int(dab) > max {
+			return false
+		}
+		same := NewEditDistance(a, a)
+		return same.Distance(same.Sequential()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSWGGSelfAlignment(t *testing.T) {
+	a := []byte("ACGTACGTTT")
+	s := NewSWGG(a, a)
+	h := s.Sequential()
+	score, bi, bj := BestLocal(h)
+	if want := int32(len(a)) * s.Match; score != want {
+		t.Fatalf("self-alignment score = %d, want %d", score, want)
+	}
+	if bi != len(a)-1 || bj != len(a)-1 {
+		t.Fatalf("best cell = (%d,%d), want bottom-right", bi, bj)
+	}
+}
+
+func TestSWGGNoNegativeScores(t *testing.T) {
+	s := NewSWGG(RandomDNA(40, 5), RandomDNA(40, 6))
+	for _, row := range s.Sequential() {
+		for _, c := range row {
+			if c < 0 {
+				t.Fatal("local alignment matrix has negative cell")
+			}
+		}
+	}
+}
+
+func TestSWGGKnownSmall(t *testing.T) {
+	// A and B share the substring "GGG": score 3 matches = 6.
+	s := NewSWGG([]byte("TTGGG"), []byte("GGGAA"))
+	score, _, _ := BestLocal(s.Sequential())
+	if score != 6 {
+		t.Fatalf("score = %d, want 6", score)
+	}
+}
+
+func TestSWGGGapPenaltyUsed(t *testing.T) {
+	// ACGT vs AC-GT-like: a gapped alignment must beat mismatches when
+	// gaps are cheap and lose when they are expensive.
+	a, b := []byte("AAAATTTT"), []byte("AAAACCCTTTT")
+	cheap := NewSWGG(a, b)
+	cheap.GapOpen, cheap.GapExt = 1, 0
+	exp := NewSWGG(a, b)
+	exp.GapOpen, exp.GapExt = 50, 50
+	cheapScore, _, _ := BestLocal(cheap.Sequential())
+	expScore, _, _ := BestLocal(exp.Sequential())
+	if cheapScore <= expScore {
+		t.Fatalf("cheap-gap score %d should exceed expensive-gap score %d", cheapScore, expScore)
+	}
+	// With cheap gaps the whole 8 matches + 3-gap is reachable: 8*2-1.
+	if want := int32(15); cheapScore != want {
+		t.Fatalf("cheap score = %d, want %d", cheapScore, want)
+	}
+}
+
+func TestSWGGTracebackReconstructsScore(t *testing.T) {
+	a := RandomDNA(60, 11)
+	b := MutateSeq(a, DNAAlphabet, 0.15, 12)
+	s := NewSWGG(a, b)
+	h := s.Sequential()
+	al := s.Traceback(h)
+	if len(al.RowA) != len(al.RowB) {
+		t.Fatal("alignment rows differ in length")
+	}
+	if len(al.RowA) == 0 {
+		t.Fatal("empty alignment")
+	}
+	// Recompute the score of the alignment; general-gap scoring charges
+	// w(k) per maximal gap run of length k.
+	var score int32
+	run := 0
+	flushGap := func() {
+		if run > 0 {
+			score -= s.gap(run)
+			run = 0
+		}
+	}
+	for k := range al.RowA {
+		ca, cb := al.RowA[k], al.RowB[k]
+		if ca == '-' || cb == '-' {
+			run++
+			continue
+		}
+		flushGap()
+		if ca == cb {
+			score += s.Match
+		} else {
+			score += s.Mismatch
+		}
+	}
+	flushGap()
+	if score != al.Score {
+		t.Fatalf("traceback alignment scores %d, matrix says %d\nA: %s\nB: %s", score, al.Score, al.RowA, al.RowB)
+	}
+}
+
+func TestNussinovPerfectHairpin(t *testing.T) {
+	// GGGG AAAA CCCC folds into 4 pairs (G-C), MinLoop 3 satisfied by the
+	// A4 loop.
+	nu := NewNussinov([]byte("GGGGAAAACCCC"))
+	nu.WobblePairs = false
+	f := nu.Sequential()
+	if got := f[0][len(nu.S)-1]; got != 4 {
+		t.Fatalf("hairpin pairs = %d, want 4", got)
+	}
+}
+
+func TestNussinovNoPairsPossible(t *testing.T) {
+	nu := NewNussinov([]byte("AAAAAAAA"))
+	f := nu.Sequential()
+	if got := f[0][len(nu.S)-1]; got != 0 {
+		t.Fatalf("poly-A pairs = %d, want 0", got)
+	}
+}
+
+func TestNussinovMinLoopEnforced(t *testing.T) {
+	nu := NewNussinov([]byte("GC"))
+	f := nu.Sequential()
+	if f[0][1] != 0 {
+		t.Fatal("adjacent bases paired despite MinLoop")
+	}
+	nu2 := &Nussinov{S: []byte("GAAAC"), MinLoop: 3}
+	f2 := nu2.Sequential()
+	if f2[0][4] != 1 {
+		t.Fatalf("G...C with loop 3 should pair, got %d", f2[0][4])
+	}
+}
+
+func TestNussinovStructureConsistent(t *testing.T) {
+	s := RandomRNA(80, 21)
+	nu := NewNussinov(s)
+	f := nu.Sequential()
+	structure := nu.Structure(f)
+	if len(structure) != len(s) {
+		t.Fatal("structure length mismatch")
+	}
+	pairs := PairCount(structure)
+	if pairs < 0 {
+		t.Fatalf("unbalanced structure %q", structure)
+	}
+	if pairs != int(f[0][len(s)-1]) {
+		t.Fatalf("structure has %d pairs, matrix says %d", pairs, f[0][len(s)-1])
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	if PairCount("((..))") != 2 {
+		t.Fatal("PairCount wrong")
+	}
+	if PairCount("((.)") != -1 || PairCount("())") != -1 {
+		t.Fatal("unbalanced structure accepted")
+	}
+}
+
+func TestCanPair(t *testing.T) {
+	nu := &Nussinov{S: []byte("AUGCGU"), MinLoop: 0, WobblePairs: true}
+	if !nu.CanPair(0, 1) { // A-U
+		t.Error("A-U should pair")
+	}
+	if !nu.CanPair(2, 3) { // G-C
+		t.Error("G-C should pair")
+	}
+	if !nu.CanPair(4, 5) { // G-U wobble
+		t.Error("G-U wobble should pair")
+	}
+	nu.WobblePairs = false
+	if nu.CanPair(4, 5) {
+		t.Error("G-U paired with wobble disabled")
+	}
+	if nu.CanPair(0, 2) { // A-G
+		t.Error("A-G should not pair")
+	}
+}
+
+func TestMatrixChainKnownValue(t *testing.T) {
+	// CLRS example: dims 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 -> 15125.
+	m := &MatrixChain{Dims: []int64{30, 35, 15, 5, 10, 20, 25}}
+	d := m.Sequential()
+	if got := d[0][5]; got != 15125 {
+		t.Fatalf("matrix chain cost = %d, want 15125", got)
+	}
+}
+
+func TestMatrixChainSingleMatrix(t *testing.T) {
+	m := &MatrixChain{Dims: []int64{4, 7}}
+	if got := m.Sequential()[0][0]; got != 0 {
+		t.Fatalf("single matrix cost = %d, want 0", got)
+	}
+}
+
+func TestKnapsackKnownValue(t *testing.T) {
+	k := &Knapsack{
+		Weights:  []int{1, 3, 4, 5},
+		Values:   []int32{1, 4, 5, 7},
+		Capacity: 7,
+	}
+	if got := k.Best(k.Sequential()); got != 9 {
+		t.Fatalf("knapsack best = %d, want 9", got)
+	}
+}
+
+func TestKnapsackBruteForceAgreement(t *testing.T) {
+	k := NewKnapsack(12, 30, 99)
+	want := bruteKnapsack(k)
+	if got := k.Best(k.Sequential()); got != want {
+		t.Fatalf("knapsack DP = %d, brute force = %d", got, want)
+	}
+}
+
+func bruteKnapsack(k *Knapsack) int32 {
+	n := len(k.Weights)
+	var best int32
+	for mask := 0; mask < 1<<n; mask++ {
+		w, v := 0, int32(0)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				w += k.Weights[i]
+				v += k.Values[i]
+			}
+		}
+		if w <= k.Capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestDominance43Monotone(t *testing.T) {
+	d := NewDominance43(8, 7)
+	m := d.Sequential()
+	// Every cell is min over dominated cells + nonneg weight: cells are
+	// nonnegative and the matrix is finite.
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < 0 || m[i][j] >= 1<<30 {
+				t.Fatalf("cell (%d,%d) = %d out of range", i, j, m[i][j])
+			}
+		}
+	}
+}

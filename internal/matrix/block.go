@@ -1,0 +1,48 @@
+// Package matrix provides blocked storage for DP matrices: individual
+// blocks, a thread-safe block store (the master's view of the matrix), a
+// read view used while computing one sub-task, and wire codecs for
+// shipping blocks between nodes.
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Block is one rectangular tile of the DP matrix in row-major layout.
+// Cells are addressed with global matrix coordinates.
+type Block[T any] struct {
+	Rect  dag.Rect
+	Cells []T
+}
+
+// NewBlock allocates a zeroed block covering r.
+func NewBlock[T any](r dag.Rect) *Block[T] {
+	return &Block[T]{Rect: r, Cells: make([]T, r.Cells())}
+}
+
+func (b *Block[T]) index(i, j int) int {
+	return (i-b.Rect.Row0)*b.Rect.Cols + (j - b.Rect.Col0)
+}
+
+// At returns the cell at global coordinates (i, j), which must lie inside
+// the block.
+func (b *Block[T]) At(i, j int) T { return b.Cells[b.index(i, j)] }
+
+// Set stores v at global coordinates (i, j).
+func (b *Block[T]) Set(i, j int, v T) { b.Cells[b.index(i, j)] = v }
+
+// Contains reports whether global cell (i, j) lies inside the block.
+func (b *Block[T]) Contains(i, j int) bool { return b.Rect.Contains(i, j) }
+
+// Clone returns a deep copy of the block.
+func (b *Block[T]) Clone() *Block[T] {
+	c := &Block[T]{Rect: b.Rect, Cells: make([]T, len(b.Cells))}
+	copy(c.Cells, b.Cells)
+	return c
+}
+
+func (b *Block[T]) String() string {
+	return fmt.Sprintf("block%v", b.Rect)
+}

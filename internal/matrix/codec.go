@@ -1,0 +1,106 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+)
+
+// Codec serializes cell values for the transport layer. Fixed-size numeric
+// cells use the fast binary codec; any other cell type can fall back to
+// the gob codec.
+type Codec[T any] interface {
+	// EncodeCells writes the cells to w.
+	EncodeCells(w io.Writer, cells []T) error
+	// DecodeCells reads len(cells) values from r into cells.
+	DecodeCells(r io.Reader, cells []T) error
+}
+
+// BinaryCodec encodes fixed-size integer and float cells with
+// encoding/binary in little-endian order.
+type BinaryCodec[T int32 | int64 | uint32 | uint64 | float32 | float64] struct{}
+
+func (BinaryCodec[T]) EncodeCells(w io.Writer, cells []T) error {
+	return binary.Write(w, binary.LittleEndian, cells)
+}
+
+func (BinaryCodec[T]) DecodeCells(r io.Reader, cells []T) error {
+	return binary.Read(r, binary.LittleEndian, cells)
+}
+
+// GobCodec encodes arbitrary cell types with encoding/gob. Slower than
+// BinaryCodec but works for struct cells (e.g. score plus traceback
+// direction).
+type GobCodec[T any] struct{}
+
+func (GobCodec[T]) EncodeCells(w io.Writer, cells []T) error {
+	return gob.NewEncoder(w).Encode(cells)
+}
+
+func (GobCodec[T]) DecodeCells(r io.Reader, cells []T) error {
+	var tmp []T
+	if err := gob.NewDecoder(r).Decode(&tmp); err != nil {
+		return err
+	}
+	if len(tmp) != len(cells) {
+		return fmt.Errorf("matrix: gob payload has %d cells, want %d", len(tmp), len(cells))
+	}
+	copy(cells, tmp)
+	return nil
+}
+
+// blockHeader precedes each block on the wire.
+type blockHeader struct {
+	Row0, Col0, Rows, Cols int32
+}
+
+// EncodeBlocks serializes a set of blocks (count header followed by rect
+// headers and cell payloads) using codec c.
+func EncodeBlocks[T any](c Codec[T], blocks []*Block[T]) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, int32(len(blocks))); err != nil {
+		return nil, err
+	}
+	for _, b := range blocks {
+		h := blockHeader{int32(b.Rect.Row0), int32(b.Rect.Col0), int32(b.Rect.Rows), int32(b.Rect.Cols)}
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			return nil, err
+		}
+		if err := c.EncodeCells(&buf, b.Cells); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBlocks is the inverse of EncodeBlocks.
+func DecodeBlocks[T any](c Codec[T], data []byte) ([]*Block[T], error) {
+	r := bytes.NewReader(data)
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("matrix: negative block count %d", n)
+	}
+	blocks := make([]*Block[T], 0, n)
+	for k := int32(0); k < n; k++ {
+		var h blockHeader
+		if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+			return nil, err
+		}
+		if h.Rows <= 0 || h.Cols <= 0 {
+			return nil, fmt.Errorf("matrix: invalid block header %+v", h)
+		}
+		b := NewBlock[T](dag.Rect{Row0: int(h.Row0), Col0: int(h.Col0), Rows: int(h.Rows), Cols: int(h.Cols)})
+		if err := c.DecodeCells(r, b.Cells); err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}

@@ -1,0 +1,286 @@
+package matrix
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func TestBlockAtSet(t *testing.T) {
+	b := NewBlock[int32](dag.Rect{Row0: 10, Col0: 20, Rows: 3, Cols: 4})
+	b.Set(11, 22, 42)
+	if got := b.At(11, 22); got != 42 {
+		t.Fatalf("At = %d, want 42", got)
+	}
+	if b.At(10, 20) != 0 {
+		t.Fatal("fresh cells must be zero")
+	}
+	if !b.Contains(12, 23) || b.Contains(13, 20) || b.Contains(10, 24) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestBlockClone(t *testing.T) {
+	b := NewBlock[int32](dag.Rect{Rows: 2, Cols: 2})
+	b.Set(0, 0, 7)
+	c := b.Clone()
+	c.Set(0, 0, 9)
+	if b.At(0, 0) != 7 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStorePutGetAssemble(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(6), dag.Square(4)) // 2x2 grid, clipped edges
+	s := NewStore[int32](g)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			p := dag.Pos{Row: r, Col: c}
+			b := NewBlock[int32](g.Rect(p))
+			for i := b.Rect.Row0; i < b.Rect.Row0+b.Rect.Rows; i++ {
+				for j := b.Rect.Col0; j < b.Rect.Col0+b.Rect.Cols; j++ {
+					b.Set(i, j, int32(i*10+j))
+				}
+			}
+			s.Put(p, b)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	m := s.Assemble()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if m[i][j] != int32(i*10+j) {
+				t.Fatalf("Assemble[%d][%d] = %d, want %d", i, j, m[i][j], i*10+j)
+			}
+		}
+	}
+	if got := s.Cell(5, 5); got != 55 {
+		t.Fatalf("Cell = %d, want 55", got)
+	}
+}
+
+func TestStorePutWrongRectPanics(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(8), dag.Square(4))
+	s := NewStore[int32](g)
+	b := NewBlock[int32](dag.Rect{Rows: 4, Cols: 4}) // rect of (0,0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Put(dag.Pos{Row: 1, Col: 1}, b)
+}
+
+func TestStoreGatherMissingPanics(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(8), dag.Square(4))
+	s := NewStore[int32](g)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Gather([]dag.Pos{{Row: 0, Col: 0}})
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(32), dag.Square(2)) // 16x16 grid
+	s := NewStore[int32](g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 16; r++ {
+				for c := w; c < 16; c += 8 {
+					p := dag.Pos{Row: r, Col: c}
+					s.Put(p, NewBlock[int32](g.Rect(p)))
+					_ = s.Get(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", s.Len())
+	}
+}
+
+func TestViewResolution(t *testing.T) {
+	out := NewBlock[int32](dag.Rect{Row0: 4, Col0: 4, Rows: 2, Cols: 2})
+	out.Set(4, 4, 1)
+	in := NewBlock[int32](dag.Rect{Row0: 2, Col0: 4, Rows: 2, Cols: 2})
+	in.Set(3, 5, 2)
+	boundary := func(i, j int) int32 { return -9 }
+	exists := func(i, j int) bool { return i >= 0 && j >= 0 }
+	v := NewView(out, []*Block[int32]{in}, exists, boundary)
+
+	if got := v.Get(4, 4); got != 1 {
+		t.Errorf("out cell = %d, want 1", got)
+	}
+	if got := v.Get(3, 5); got != 2 {
+		t.Errorf("in cell = %d, want 2", got)
+	}
+	if got := v.Get(-1, 0); got != -9 {
+		t.Errorf("boundary cell = %d, want -9", got)
+	}
+	// Repeated input reads exercise the single-block cache.
+	if got := v.Get(2, 4); got != 0 {
+		t.Errorf("cached in cell = %d, want 0", got)
+	}
+	v.Set(5, 5, 77)
+	if out.At(5, 5) != 77 {
+		t.Error("Set did not reach the output block")
+	}
+	if v.Out() != out {
+		t.Error("Out did not return the output block")
+	}
+}
+
+func TestViewOutsideRegionPanics(t *testing.T) {
+	out := NewBlock[int32](dag.Rect{Rows: 2, Cols: 2})
+	v := NewView(out, nil, nil, func(i, j int) int32 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for read outside the data region")
+		}
+	}()
+	v.Get(10, 10)
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	f := func(cells []int64) bool {
+		b := &Block[int64]{Rect: dag.Rect{Rows: 1, Cols: len(cells)}, Cells: cells}
+		if len(cells) == 0 {
+			b.Rect = dag.Rect{Rows: 1, Cols: 1}
+			b.Cells = []int64{0}
+		}
+		data, err := EncodeBlocks[int64](BinaryCodec[int64]{}, []*Block[int64]{b})
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBlocks[int64](BinaryCodec[int64]{}, data)
+		if err != nil || len(got) != 1 || got[0].Rect != b.Rect {
+			return false
+		}
+		for k := range b.Cells {
+			if got[0].Cells[k] != b.Cells[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGobCodecRoundTrip(t *testing.T) {
+	type cell struct {
+		Score int32
+		Dir   uint8
+	}
+	rng := rand.New(rand.NewSource(7))
+	b := NewBlock[cell](dag.Rect{Row0: 1, Col0: 2, Rows: 3, Cols: 5})
+	for k := range b.Cells {
+		b.Cells[k] = cell{Score: rng.Int31(), Dir: uint8(rng.Intn(4))}
+	}
+	data, err := EncodeBlocks[cell](GobCodec[cell]{}, []*Block[cell]{b, b.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBlocks[cell](GobCodec[cell]{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d blocks, want 2", len(got))
+	}
+	for k := range b.Cells {
+		if got[0].Cells[k] != b.Cells[k] {
+			t.Fatalf("cell %d mismatch", k)
+		}
+	}
+}
+
+func TestDecodeBlocksRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBlocks[int32](BinaryCodec[int32]{}, []byte{1, 2}); err == nil {
+		t.Error("short input accepted")
+	}
+	// Negative count.
+	if _, err := DecodeBlocks[int32](BinaryCodec[int32]{}, []byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestEncodeBlocksMultiBlockSizes(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(10), dag.Square(3))
+	var blocks []*Block[float64]
+	for r := 0; r < g.Grid.Rows; r++ {
+		for c := 0; c < g.Grid.Cols; c++ {
+			b := NewBlock[float64](g.Rect(dag.Pos{Row: r, Col: c}))
+			for k := range b.Cells {
+				b.Cells[k] = float64(r*100 + c*10 + k)
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	data, err := EncodeBlocks[float64](BinaryCodec[float64]{}, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBlocks[float64](BinaryCodec[float64]{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(blocks))
+	}
+	for k := range blocks {
+		if got[k].Rect != blocks[k].Rect {
+			t.Fatalf("block %d rect %v != %v", k, got[k].Rect, blocks[k].Rect)
+		}
+		for c := range blocks[k].Cells {
+			if got[k].Cells[c] != blocks[k].Cells[c] {
+				t.Fatalf("block %d cell %d mismatch", k, c)
+			}
+		}
+	}
+}
+
+func TestStoreDrop(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(8), dag.Square(4))
+	s := NewStore[int32](g)
+	p := dag.Pos{Row: 0, Col: 0}
+	s.Put(p, NewBlock[int32](g.Rect(p)))
+	if s.Len() != 1 {
+		t.Fatal("put failed")
+	}
+	s.Drop(p)
+	if s.Len() != 0 || s.Get(p) != nil {
+		t.Fatal("drop failed")
+	}
+	s.Drop(p) // idempotent
+}
+
+func TestAssembleWithHoles(t *testing.T) {
+	// Missing blocks (triangular holes / reclaimed blocks) assemble as
+	// zero values.
+	g := dag.MatrixGeometry(dag.Square(4), dag.Square(2))
+	s := NewStore[int32](g)
+	p := dag.Pos{Row: 0, Col: 1}
+	b := NewBlock[int32](g.Rect(p))
+	b.Set(0, 2, 7)
+	s.Put(p, b)
+	m := s.Assemble()
+	if m[0][2] != 7 {
+		t.Fatal("stored cell lost")
+	}
+	if m[3][0] != 0 || m[0][0] != 0 {
+		t.Fatal("hole cells not zero")
+	}
+}

@@ -1,0 +1,155 @@
+package matrix
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func fillBlock(g dag.Geometry, p dag.Pos) *Block[int32] {
+	b := NewBlock[int32](g.Rect(p))
+	for i := b.Rect.Row0; i < b.Rect.Row0+b.Rect.Rows; i++ {
+		for j := b.Rect.Col0; j < b.Rect.Col0+b.Rect.Cols; j++ {
+			b.Set(i, j, int32(i*100+j))
+		}
+	}
+	return b
+}
+
+func newTestSpill(t *testing.T, budget int) (*SpillStore[int32], dag.Geometry) {
+	t.Helper()
+	g := dag.MatrixGeometry(dag.Square(12), dag.Square(3)) // 4x4 grid
+	s, err := NewSpillStore[int32](g, BinaryCodec[int32]{}, t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestSpillStoreEvictsBeyondBudget(t *testing.T) {
+	s, g := newTestSpill(t, 3)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s.Put(dag.Pos{Row: r, Col: c}, fillBlock(g, dag.Pos{Row: r, Col: c}))
+		}
+	}
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", s.Len())
+	}
+	if s.InMemory() > 3 {
+		t.Fatalf("InMemory = %d, budget 3", s.InMemory())
+	}
+	spills, _ := s.IO()
+	if spills != 13 {
+		t.Fatalf("spills = %d, want 13", spills)
+	}
+	// Every cell readable, spilled or not.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if got := s.Cell(i, j); got != int32(i*100+j) {
+				t.Fatalf("cell (%d,%d) = %d", i, j, got)
+			}
+		}
+	}
+	if _, loads := s.IO(); loads == 0 {
+		t.Fatal("no reloads recorded despite spilled reads")
+	}
+}
+
+func TestSpillStoreGatherMixesMemoryAndDisk(t *testing.T) {
+	s, g := newTestSpill(t, 2)
+	var ps []dag.Pos
+	for c := 0; c < 4; c++ {
+		p := dag.Pos{Row: 0, Col: c}
+		s.Put(p, fillBlock(g, p))
+		ps = append(ps, p)
+	}
+	blocks := s.Gather(ps)
+	for k, b := range blocks {
+		if b.Rect != g.Rect(ps[k]) {
+			t.Fatalf("gather block %d rect %v", k, b.Rect)
+		}
+		if b.At(b.Rect.Row0, b.Rect.Col0) != int32(b.Rect.Row0*100+b.Rect.Col0) {
+			t.Fatalf("gather block %d content wrong", k)
+		}
+	}
+}
+
+func TestSpillStoreAssembleEqualsMemoryStore(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(10), dag.Square(4))
+	mem := NewStore[int32](g)
+	spill, err := NewSpillStore[int32](g, BinaryCodec[int32]{}, t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < g.Grid.Rows; r++ {
+		for c := 0; c < g.Grid.Cols; c++ {
+			p := dag.Pos{Row: r, Col: c}
+			mem.Put(p, fillBlock(g, p))
+			spill.Put(p, fillBlock(g, p))
+		}
+	}
+	a, b := mem.Assemble(), spill.Assemble()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("assemble differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSpillStoreDropRemovesFile(t *testing.T) {
+	s, g := newTestSpill(t, 1)
+	p0, p1 := dag.Pos{Row: 0, Col: 0}, dag.Pos{Row: 0, Col: 1}
+	s.Put(p0, fillBlock(g, p0))
+	s.Put(p1, fillBlock(g, p1)) // evicts p0 to disk
+	if s.Get(p0) == nil {
+		t.Fatal("spilled block unreadable")
+	}
+	s.Drop(p0)
+	if s.Get(p0) != nil {
+		t.Fatal("dropped block still readable")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSpillStoreCloseCleansDir(t *testing.T) {
+	dir := t.TempDir()
+	g := dag.MatrixGeometry(dag.Square(6), dag.Square(2))
+	s, err := NewSpillStore[int32](g, BinaryCodec[int32]{}, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		p := dag.Pos{Row: 0, Col: c}
+		s.Put(p, fillBlock(g, p))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "block-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("spill files left after Close: %v", files)
+	}
+}
+
+func TestSpillStoreBadDir(t *testing.T) {
+	g := dag.MatrixGeometry(dag.Square(4), dag.Square(2))
+	// A file in place of the directory must fail creation.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpillStore[int32](g, BinaryCodec[int32]{}, filepath.Join(file, "sub"), 2); err == nil {
+		t.Fatal("spill store created under a file")
+	}
+}

@@ -1,0 +1,112 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// Store holds the completed blocks of a DP matrix, keyed by block-grid
+// position of a fixed geometry. The master part uses it to collect
+// sub-task results and to gather the data regions of new sub-tasks. It is
+// safe for concurrent use.
+type Store[T any] struct {
+	geom dag.Geometry
+
+	mu     sync.RWMutex
+	blocks map[dag.Pos]*Block[T]
+}
+
+// NewStore creates an empty store over geometry g.
+func NewStore[T any](g dag.Geometry) *Store[T] {
+	return &Store[T]{geom: g, blocks: make(map[dag.Pos]*Block[T])}
+}
+
+// Geometry returns the store's partitioning geometry.
+func (s *Store[T]) Geometry() dag.Geometry { return s.geom }
+
+// Put stores the completed block for grid position p. The block's region
+// must match the geometry's region for p.
+func (s *Store[T]) Put(p dag.Pos, b *Block[T]) {
+	if want := s.geom.Rect(p); b.Rect != want {
+		panic(fmt.Sprintf("matrix: block rect %v does not match geometry rect %v of %v", b.Rect, want, p))
+	}
+	s.mu.Lock()
+	s.blocks[p] = b
+	s.mu.Unlock()
+}
+
+// Get returns the block at grid position p, or nil when it has not been
+// stored yet.
+func (s *Store[T]) Get(p dag.Pos) *Block[T] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocks[p]
+}
+
+// Gather returns the blocks at the given positions; it panics if any of
+// them is missing, because the DAG model guarantees that every data
+// dependency of a computable vertex is complete.
+func (s *Store[T]) Gather(ps []dag.Pos) []*Block[T] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Block[T], len(ps))
+	for k, p := range ps {
+		b := s.blocks[p]
+		if b == nil {
+			panic(fmt.Sprintf("matrix: gather of missing block %v (scheduling bug: data dependency not complete)", p))
+		}
+		out[k] = b
+	}
+	return out
+}
+
+// Drop removes the block at grid position p (memory reclamation); it is a
+// no-op when the block is absent.
+func (s *Store[T]) Drop(p dag.Pos) {
+	s.mu.Lock()
+	delete(s.blocks, p)
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored blocks.
+func (s *Store[T]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Cell returns the value of global cell (i, j); the containing block must
+// have been stored.
+func (s *Store[T]) Cell(i, j int) T {
+	p := s.geom.BlockOf(i, j)
+	b := s.Get(p)
+	if b == nil {
+		panic(fmt.Sprintf("matrix: cell (%d,%d) read from missing block %v", i, j, p))
+	}
+	return b.At(i, j)
+}
+
+// Assemble flattens the stored blocks into a dense [rows][cols] matrix
+// over the store's region. Cells of missing blocks (e.g. below the
+// diagonal of a triangular pattern) are left at the zero value. Row and
+// column indices of the result are region-relative.
+func (s *Store[T]) Assemble() [][]T {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg := s.geom.Region
+	out := make([][]T, reg.Rows)
+	backing := make([]T, reg.Rows*reg.Cols)
+	for i := range out {
+		out[i], backing = backing[:reg.Cols], backing[reg.Cols:]
+	}
+	for _, b := range s.blocks {
+		for i := b.Rect.Row0; i < b.Rect.Row0+b.Rect.Rows; i++ {
+			for j := b.Rect.Col0; j < b.Rect.Col0+b.Rect.Cols; j++ {
+				out[i-reg.Row0][j-reg.Col0] = b.At(i, j)
+			}
+		}
+	}
+	return out
+}

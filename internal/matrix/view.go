@@ -1,0 +1,63 @@
+package matrix
+
+import "fmt"
+
+// View is the read/write window a DP kernel sees while computing one
+// sub-task: writes go to the output block; reads resolve, in order,
+// against the output block (cells computed earlier in the same sub-task or
+// by sibling thread-level tasks), the shipped input blocks, a boundary
+// function for cells outside the computed region, and otherwise panic —
+// a read that reaches the panic indicates an under-specified data region
+// in the pattern, which the tests are designed to catch.
+//
+// View is not synchronized: the DAG schedule guarantees that every cell a
+// kernel may read was written before the kernel started (happens-before is
+// established by the scheduler's completion handshake).
+type View[T any] struct {
+	// exists reports whether a cell is part of the computation; reads of
+	// cells that do not exist resolve through boundary.
+	exists func(i, j int) bool
+	// boundary supplies values for reads outside the computed region
+	// (i < 0, j < 0, beyond the matrix, or pattern-dependent holes).
+	boundary func(i, j int) T
+	// outs are the writable blocks of the running sub-task, ordered from
+	// most specific (current thread-level block) outward.
+	out *Block[T]
+	// in maps block rects to shipped input blocks.
+	in []*Block[T]
+	// last caches the input block of the previous failed-over read.
+	last *Block[T]
+}
+
+// NewView builds a view for a sub-task writing out, reading the shipped
+// blocks in, with existence predicate exists and boundary function
+// boundary.
+func NewView[T any](out *Block[T], in []*Block[T], exists func(i, j int) bool, boundary func(i, j int) T) *View[T] {
+	return &View[T]{exists: exists, boundary: boundary, out: out, in: in}
+}
+
+// Get returns the value of cell (i, j).
+func (v *View[T]) Get(i, j int) T {
+	if v.exists != nil && !v.exists(i, j) {
+		return v.boundary(i, j)
+	}
+	if v.out != nil && v.out.Contains(i, j) {
+		return v.out.At(i, j)
+	}
+	if v.last != nil && v.last.Contains(i, j) {
+		return v.last.At(i, j)
+	}
+	for _, b := range v.in {
+		if b.Contains(i, j) {
+			v.last = b
+			return b.At(i, j)
+		}
+	}
+	panic(fmt.Sprintf("matrix: read of cell (%d,%d) outside the sub-task data region (pattern DataDeps under-specified?)", i, j))
+}
+
+// Set writes v into cell (i, j) of the output block.
+func (v *View[T]) Set(i, j int, val T) { v.out.Set(i, j, val) }
+
+// Out returns the output block of the view.
+func (v *View[T]) Out() *Block[T] { return v.out }

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// OvertimeEntry records one executing sub-task attempt: the vertex id, the
+// dispatch attempt number and the deadline by which a result must arrive.
+type OvertimeEntry struct {
+	ID       int32
+	Attempt  int32
+	Deadline time.Time
+}
+
+// OvertimeQueue is the timeout-detection structure of the worker pools:
+// when a computable sub-task starts executing, its id and start time enter
+// the queue; the fault-tolerance thread periodically expires entries whose
+// deadline has passed (§V of the paper). Removal on completion is lazy.
+type OvertimeQueue struct {
+	mu   sync.Mutex
+	h    overtimeHeap
+	live map[int32]int32 // vertex id -> attempt currently being watched
+}
+
+// NewOvertimeQueue creates an empty queue.
+func NewOvertimeQueue() *OvertimeQueue {
+	return &OvertimeQueue{live: make(map[int32]int32)}
+}
+
+// Add starts watching an attempt of vertex id with the given deadline. A
+// later Add for the same vertex (a redistribution) supersedes the earlier
+// watch.
+func (q *OvertimeQueue) Add(id, attempt int32, deadline time.Time) {
+	q.mu.Lock()
+	q.live[id] = attempt
+	heap.Push(&q.h, OvertimeEntry{ID: id, Attempt: attempt, Deadline: deadline})
+	q.mu.Unlock()
+}
+
+// Remove stops watching vertex id (its result arrived).
+func (q *OvertimeQueue) Remove(id int32) {
+	q.mu.Lock()
+	delete(q.live, id)
+	q.mu.Unlock()
+}
+
+// ExpireBefore removes and returns every watched entry whose deadline is
+// not after now. Entries superseded by a newer attempt or removed on
+// completion are discarded silently.
+func (q *OvertimeQueue) ExpireBefore(now time.Time) []OvertimeEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var expired []OvertimeEntry
+	for q.h.Len() > 0 {
+		top := q.h[0]
+		if top.Deadline.After(now) {
+			break
+		}
+		heap.Pop(&q.h)
+		if att, ok := q.live[top.ID]; ok && att == top.Attempt {
+			delete(q.live, top.ID)
+			expired = append(expired, top)
+		}
+	}
+	return expired
+}
+
+// Len returns the number of vertices currently watched.
+func (q *OvertimeQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.live)
+}
+
+// NextDeadline returns the earliest live deadline and true, or false when
+// nothing is watched.
+func (q *OvertimeQueue) NextDeadline() (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.h.Len() > 0 {
+		top := q.h[0]
+		if att, ok := q.live[top.ID]; ok && att == top.Attempt {
+			return top.Deadline, true
+		}
+		heap.Pop(&q.h) // stale entry
+	}
+	return time.Time{}, false
+}
+
+type overtimeHeap []OvertimeEntry
+
+func (h overtimeHeap) Len() int            { return len(h) }
+func (h overtimeHeap) Less(i, j int) bool  { return h[i].Deadline.Before(h[j].Deadline) }
+func (h overtimeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *overtimeHeap) Push(x interface{}) { *h = append(*h, x.(OvertimeEntry)) }
+func (h *overtimeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,90 @@
+package sched
+
+import "sync"
+
+// RegisterTable is the sub-task register table of the master worker pool:
+// every dispatched sub-task is registered before being sent; results are
+// accepted only when they match the currently registered attempt, which
+// makes acceptance idempotent in the presence of timeout redistributions
+// (a slow slave's late result for a superseded attempt is dropped, §V.B
+// steps g-h).
+type RegisterTable struct {
+	mu       sync.Mutex
+	current  map[int32]int32 // vertex id -> registered attempt
+	finished map[int32]bool
+	attempts map[int32]int32 // vertex id -> last attempt number issued
+}
+
+// NewRegisterTable creates an empty table.
+func NewRegisterTable() *RegisterTable {
+	return &RegisterTable{
+		current:  make(map[int32]int32),
+		finished: make(map[int32]bool),
+		attempts: make(map[int32]int32),
+	}
+}
+
+// Register records a new dispatch attempt for vertex id and returns its
+// attempt number (1 for the first dispatch). It reports ok == false when
+// the vertex already finished — this happens when a result races its own
+// timeout redistribution, in which case the caller must not dispatch.
+func (t *RegisterTable) Register(id int32) (attempt int32, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished[id] {
+		return 0, false
+	}
+	t.attempts[id]++
+	a := t.attempts[id]
+	t.current[id] = a
+	return a, true
+}
+
+// Cancel removes the registration of vertex id (timeout redistribution,
+// §V.B step g). It is a no-op for unregistered or finished vertices.
+func (t *RegisterTable) Cancel(id int32) {
+	t.mu.Lock()
+	delete(t.current, id)
+	t.mu.Unlock()
+}
+
+// Accept reports whether a result for (id, attempt) should be applied: the
+// attempt must be the currently registered one and the vertex must not
+// have finished. On success the vertex is marked finished.
+func (t *RegisterTable) Accept(id, attempt int32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished[id] {
+		return false
+	}
+	cur, ok := t.current[id]
+	if !ok || cur != attempt {
+		return false
+	}
+	delete(t.current, id)
+	t.finished[id] = true
+	return true
+}
+
+// Outstanding returns the number of currently registered (executing)
+// sub-tasks.
+func (t *RegisterTable) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.current)
+}
+
+// Finished returns the number of accepted sub-tasks.
+func (t *RegisterTable) Finished() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.finished)
+}
+
+// Attempts returns the total number of dispatch attempts issued for vertex
+// id (1 means it never timed out).
+func (t *RegisterTable) Attempts(id int32) int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts[id]
+}

@@ -1,0 +1,412 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dag"
+)
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack
+	s.Push(1, 2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, want := range []int32{3, 2, 1} {
+		got, ok := s.TryPop()
+		if !ok || got != want {
+			t.Fatalf("TryPop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.TryPop(); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+}
+
+func TestStackDrain(t *testing.T) {
+	var s Stack
+	s.Push(1)
+	s.Push(2, 3)
+	got := s.Drain()
+	if len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("stack not empty after drain")
+	}
+}
+
+// Property: a sequence of pushes then pops behaves LIFO.
+func TestStackProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		var s Stack
+		s.Push(vals...)
+		for k := len(vals) - 1; k >= 0; k-- {
+			got, ok := s.TryPop()
+			if !ok || got != vals[k] {
+				return false
+			}
+		}
+		_, ok := s.TryPop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOvertimeQueueExpiry(t *testing.T) {
+	q := NewOvertimeQueue()
+	t0 := time.Now()
+	q.Add(1, 1, t0.Add(10*time.Millisecond))
+	q.Add(2, 1, t0.Add(30*time.Millisecond))
+	q.Add(3, 1, t0.Add(50*time.Millisecond))
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+
+	exp := q.ExpireBefore(t0.Add(35 * time.Millisecond))
+	if len(exp) != 2 || exp[0].ID != 1 || exp[1].ID != 2 {
+		t.Fatalf("expired %v", exp)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after expiry = %d", q.Len())
+	}
+}
+
+func TestOvertimeQueueRemoveBeforeExpiry(t *testing.T) {
+	q := NewOvertimeQueue()
+	t0 := time.Now()
+	q.Add(1, 1, t0)
+	q.Remove(1)
+	if exp := q.ExpireBefore(t0.Add(time.Second)); len(exp) != 0 {
+		t.Fatalf("removed entry expired: %v", exp)
+	}
+}
+
+func TestOvertimeQueueSupersededAttempt(t *testing.T) {
+	q := NewOvertimeQueue()
+	t0 := time.Now()
+	q.Add(7, 1, t0.Add(10*time.Millisecond))
+	q.Add(7, 2, t0.Add(500*time.Millisecond)) // redistribution supersedes
+	exp := q.ExpireBefore(t0.Add(20 * time.Millisecond))
+	if len(exp) != 0 {
+		t.Fatalf("superseded attempt expired: %v", exp)
+	}
+	exp = q.ExpireBefore(t0.Add(time.Second))
+	if len(exp) != 1 || exp[0].Attempt != 2 {
+		t.Fatalf("want attempt 2 to expire, got %v", exp)
+	}
+}
+
+func TestOvertimeQueueNextDeadline(t *testing.T) {
+	q := NewOvertimeQueue()
+	if _, ok := q.NextDeadline(); ok {
+		t.Fatal("empty queue has a deadline")
+	}
+	t0 := time.Now()
+	q.Add(1, 1, t0.Add(time.Hour))
+	q.Add(2, 1, t0.Add(time.Minute))
+	dl, ok := q.NextDeadline()
+	if !ok || !dl.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("NextDeadline = %v,%v", dl, ok)
+	}
+	q.Remove(2)
+	dl, ok = q.NextDeadline()
+	if !ok || !dl.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("NextDeadline after remove = %v,%v", dl, ok)
+	}
+}
+
+func TestRegisterTableLifecycle(t *testing.T) {
+	rt := NewRegisterTable()
+	a, ok := rt.Register(5)
+	if !ok || a != 1 {
+		t.Fatalf("first attempt = %d, ok=%v", a, ok)
+	}
+	if rt.Outstanding() != 1 {
+		t.Fatal("Outstanding != 1")
+	}
+	if !rt.Accept(5, a) {
+		t.Fatal("current attempt rejected")
+	}
+	if rt.Accept(5, a) {
+		t.Fatal("duplicate result accepted")
+	}
+	if rt.Finished() != 1 {
+		t.Fatal("Finished != 1")
+	}
+}
+
+func TestRegisterTableRedistribution(t *testing.T) {
+	rt := NewRegisterTable()
+	a1, _ := rt.Register(9)
+	rt.Cancel(9) // timeout
+	a2, ok := rt.Register(9)
+	if !ok || a2 != 2 {
+		t.Fatalf("second attempt = %d, ok=%v", a2, ok)
+	}
+	if rt.Accept(9, a1) {
+		t.Fatal("stale attempt accepted")
+	}
+	if !rt.Accept(9, a2) {
+		t.Fatal("live attempt rejected")
+	}
+	if rt.Attempts(9) != 2 {
+		t.Fatalf("Attempts = %d", rt.Attempts(9))
+	}
+}
+
+func TestRegisterTableUnregisteredRejected(t *testing.T) {
+	rt := NewRegisterTable()
+	if rt.Accept(1, 1) {
+		t.Fatal("unregistered result accepted")
+	}
+}
+
+func TestRegisterTableRegisterFinishedRefused(t *testing.T) {
+	rt := NewRegisterTable()
+	a, _ := rt.Register(3)
+	rt.Accept(3, a)
+	if _, ok := rt.Register(3); ok {
+		t.Fatal("register of finished sub-task succeeded")
+	}
+}
+
+// drainDispatcher runs the full DAG through a dispatcher with the given
+// number of workers, returning per-worker executed vertex lists.
+func drainDispatcher(t *testing.T, gr *dag.Graph, d Dispatcher, workers int) [][]int32 {
+	t.Helper()
+	parser := dag.NewParser(gr)
+	d.Ready(parser.InitialReady()...)
+	execed := make([][]int32, workers)
+	var mu sync.Mutex
+	completed := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				id, ok := d.Next(w)
+				if !ok {
+					return
+				}
+				execed[w] = append(execed[w], id)
+				newly := parser.Complete(id)
+				mu.Lock()
+				completed++
+				isLast := completed == gr.N
+				mu.Unlock()
+				d.Ready(newly...)
+				if isLast {
+					d.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !parser.Finished() {
+		t.Fatalf("DAG not drained: %d vertices remain", parser.Remaining())
+	}
+	return execed
+}
+
+func TestDynamicDrainsDAG(t *testing.T) {
+	gr := dag.Build(dag.Wavefront{}, dag.MatrixGeometry(dag.Square(24), dag.Square(2)))
+	d := NewDynamic()
+	execed := drainDispatcher(t, gr, d, 4)
+	total := 0
+	for _, e := range execed {
+		total += len(e)
+	}
+	if total != gr.N {
+		t.Fatalf("executed %d of %d vertices", total, gr.N)
+	}
+}
+
+func TestBlockCyclicDrainsDAG(t *testing.T) {
+	for _, pat := range []dag.Pattern{dag.Wavefront{}, dag.RowColumn{}, dag.Triangular{}} {
+		gr := dag.Build(pat, dag.MatrixGeometry(dag.Square(24), dag.Square(3)))
+		d := NewBlockCyclic(gr, 3, 2)
+		execed := drainDispatcher(t, gr, d, 3)
+		total := 0
+		for w, e := range execed {
+			total += len(e)
+			// Static ownership: every executed vertex belongs to its worker.
+			for _, id := range e {
+				if own := Owner(gr.Vertex(id).Pos, 2, 3); own != w {
+					t.Errorf("%s: worker %d executed vertex of worker %d", pat.Name(), w, own)
+				}
+			}
+		}
+		if total != gr.N {
+			t.Fatalf("%s: executed %d of %d vertices", pat.Name(), total, gr.N)
+		}
+	}
+}
+
+func TestBlockCyclicOwner(t *testing.T) {
+	// 3 workers, runs of 2 columns: cols 0,1 -> w0; 2,3 -> w1; 4,5 -> w2; 6,7 -> w0.
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 0, 7: 0, 8: 1}
+	for col, want := range cases {
+		if got := Owner(dag.Pos{Row: 5, Col: col}, 2, 3); got != want {
+			t.Errorf("Owner(col=%d) = %d, want %d", col, got, want)
+		}
+	}
+}
+
+func TestBlockCyclicIdleWhileComputable(t *testing.T) {
+	// Two workers, wavefront 4x4 grid, column runs of 1:
+	// worker 0 owns even columns, worker 1 odd columns. After (0,0)
+	// completes, (0,1) is computable but only worker 1 may take it: with
+	// worker 1 absent the vertex waits even though worker 0 idles. We
+	// assert the dispatcher does NOT give (0,1) to worker 0.
+	gr := dag.Build(dag.Wavefront{}, dag.MatrixGeometry(dag.Square(4), dag.Square(1)))
+	d := NewBlockCyclic(gr, 2, 1)
+	parser := dag.NewParser(gr)
+	d.Ready(parser.InitialReady()...)
+
+	id, ok := d.Next(0) // (0,0)
+	if !ok || gr.Vertex(id).Pos != (dag.Pos{Row: 0, Col: 0}) {
+		t.Fatalf("worker 0 first vertex = %v", gr.Vertex(id).Pos)
+	}
+	d.Ready(parser.Complete(id)...) // (0,1) and (1,0) computable
+
+	got := make(chan int32, 1)
+	go func() {
+		id, ok := d.Next(0)
+		if ok {
+			got <- id
+		}
+	}()
+	select {
+	case id := <-got:
+		if gr.Vertex(id).Pos.Col%2 != 0 {
+			t.Fatalf("worker 0 stole vertex %v owned by worker 1", gr.Vertex(id).Pos)
+		}
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("worker 0 should immediately receive its own computable vertex (1,0)")
+	}
+	d.Close()
+}
+
+func TestDynamicNeverIdlesWhileComputable(t *testing.T) {
+	// In the same situation, the dynamic pool gives worker 0 whatever is
+	// computable.
+	gr := dag.Build(dag.Wavefront{}, dag.MatrixGeometry(dag.Square(4), dag.Square(1)))
+	d := NewDynamic()
+	parser := dag.NewParser(gr)
+	d.Ready(parser.InitialReady()...)
+	id, _ := d.Next(0)
+	d.Ready(parser.Complete(id)...)
+	// Worker 0 can take both computable vertices back-to-back.
+	if _, ok := d.Next(0); !ok {
+		t.Fatal("no vertex")
+	}
+	if _, ok := d.Next(0); !ok {
+		t.Fatal("no second vertex")
+	}
+	if d.ReadyCount() != 0 {
+		t.Fatalf("ReadyCount = %d", d.ReadyCount())
+	}
+	d.Close()
+}
+
+func TestDynamicCloseUnblocksWorkers(t *testing.T) {
+	d := NewDynamic()
+	done := make(chan bool, 2)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			_, ok := d.Next(w)
+			done <- ok
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	d.Close()
+	for k := 0; k < 2; k++ {
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatal("Next returned a vertex after Close")
+			}
+		case <-time.After(time.Second):
+			t.Fatal("worker did not unblock")
+		}
+	}
+}
+
+func TestDynamicRequeue(t *testing.T) {
+	d := NewDynamic()
+	d.Ready(4)
+	id, _ := d.Next(0)
+	d.Requeue(id)
+	id2, ok := d.Next(1)
+	if !ok || id2 != 4 {
+		t.Fatalf("requeued vertex not redelivered: %d,%v", id2, ok)
+	}
+	d.Close()
+}
+
+func TestBlockCyclicWorkerFinishes(t *testing.T) {
+	// A worker whose queue is exhausted gets ok == false even before
+	// global completion.
+	gr := dag.Build(dag.Wavefront{}, dag.MatrixGeometry(dag.Square(2), dag.Square(1)))
+	d := NewBlockCyclic(gr, 4, 1) // workers 2,3 own nothing (grid has 2 cols)
+	if _, ok := d.Next(3); ok {
+		t.Fatal("worker with empty queue got work")
+	}
+}
+
+func TestDepthLevelsWavefront(t *testing.T) {
+	gr := dag.Build(dag.Wavefront{}, dag.MatrixGeometry(dag.Square(3), dag.Square(1)))
+	level := depthLevels(gr)
+	g := gr.Geom
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if got := level[g.ID(dag.Pos{Row: r, Col: c})]; got != int32(r+c) {
+				t.Errorf("level(%d,%d) = %d, want %d", r, c, got, r+c)
+			}
+		}
+	}
+}
+
+func TestColumnWavefrontBlockCols(t *testing.T) {
+	// 10 grid columns over 3 workers: runs of 4 columns -> workers own
+	// cols 0-3, 4-7, 8-9; every worker owns at most one contiguous run.
+	bc := ColumnWavefrontBlockCols(10, 3)
+	if bc != 4 {
+		t.Fatalf("blockCols = %d, want 4", bc)
+	}
+	owners := make(map[int]map[int]bool)
+	for c := 0; c < 10; c++ {
+		w := Owner(dag.Pos{Col: c}, bc, 3)
+		if owners[w] == nil {
+			owners[w] = make(map[int]bool)
+		}
+		owners[w][c] = true
+	}
+	for w, cols := range owners {
+		min, max := 99, -1
+		for c := range cols {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min+1 != len(cols) {
+			t.Fatalf("worker %d owns non-contiguous columns %v", w, cols)
+		}
+	}
+	if ColumnWavefrontBlockCols(5, 0) != 5 {
+		t.Fatal("zero workers guard")
+	}
+	if ColumnWavefrontBlockCols(2, 8) != 1 {
+		t.Fatal("more workers than columns should give runs of 1")
+	}
+}

@@ -1,0 +1,57 @@
+// Package sched implements the worker-pool components of EasyHPS (§V.A of
+// the paper): the computable sub-task stack, the finished sub-task stack,
+// the overtime queue used for timeout-based fault detection, and the
+// sub-task register table that makes result acceptance idempotent. It also
+// provides the two task-allocation policies compared in the evaluation:
+// the dynamic worker pool of EasyHPS and the static block-cyclic wavefront
+// (BCW) assignment.
+package sched
+
+import "sync"
+
+// Stack is a synchronized LIFO of DAG vertex ids. The paper implements
+// both the computable sub-task stack and the finished sub-task stack as
+// linked lists used LIFO; a slice-backed stack has identical semantics.
+type Stack struct {
+	mu    sync.Mutex
+	items []int32
+}
+
+// Push adds ids to the top of the stack.
+func (s *Stack) Push(ids ...int32) {
+	s.mu.Lock()
+	s.items = append(s.items, ids...)
+	s.mu.Unlock()
+}
+
+// TryPop removes and returns the top id; ok is false when the stack is
+// empty.
+func (s *Stack) TryPop() (id int32, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	id = s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return id, true
+}
+
+// Drain removes and returns all ids, most recently pushed first.
+func (s *Stack) Drain() []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int32, len(s.items))
+	for k := range s.items {
+		out[k] = s.items[len(s.items)-1-k]
+	}
+	s.items = s.items[:0]
+	return out
+}
+
+// Len returns the number of ids on the stack.
+func (s *Stack) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

@@ -1,0 +1,117 @@
+// Package stats provides the small descriptive-statistics helpers the
+// benchmark harness uses for repeated measurements: wall-clock runs on a
+// shared machine are noisy, so figures report the median of several
+// repetitions with a dispersion estimate.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a set of duration measurements.
+type Sample struct {
+	ds []time.Duration
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(d time.Duration) { s.ds = append(s.ds, d) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.ds) }
+
+// Min returns the smallest measurement (0 when empty).
+func (s *Sample) Min() time.Duration {
+	if len(s.ds) == 0 {
+		return 0
+	}
+	min := s.ds[0]
+	for _, d := range s.ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Max returns the largest measurement (0 when empty).
+func (s *Sample) Max() time.Duration {
+	var max time.Duration
+	for _, d := range s.ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() time.Duration {
+	if len(s.ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.ds {
+		sum += d
+	}
+	return sum / time.Duration(len(s.ds))
+}
+
+// Median returns the middle measurement (lower of the two middles for
+// even counts; 0 when empty).
+func (s *Sample) Median() time.Duration {
+	if len(s.ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// Stddev returns the population standard deviation (0 for fewer than two
+// measurements).
+func (s *Sample) Stddev() time.Duration {
+	if len(s.ds) < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, d := range s.ds {
+		diff := float64(d) - mean
+		acc += diff * diff
+	}
+	return time.Duration(math.Sqrt(acc / float64(len(s.ds))))
+}
+
+// RelStddev returns the standard deviation as a fraction of the mean
+// (0 when the mean is zero).
+func (s *Sample) RelStddev() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return float64(s.Stddev()) / float64(m)
+}
+
+// String summarizes the sample as "median ±rel%".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%v ±%.0f%%", s.Median().Round(time.Millisecond), 100*s.RelStddev())
+}
+
+// Speedup is baseline divided by measured (0 when measured is zero).
+func Speedup(baseline, measured time.Duration) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return float64(baseline) / float64(measured)
+}
+
+// Efficiency is speedup divided by the core count.
+func Efficiency(baseline, measured time.Duration, cores int) float64 {
+	if cores == 0 {
+		return 0
+	}
+	return Speedup(baseline, measured) / float64(cores)
+}

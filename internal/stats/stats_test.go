@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample(ds ...time.Duration) *Sample {
+	var s Sample
+	for _, d := range ds {
+		s.Add(d)
+	}
+	return &s
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample must be all zeros")
+	}
+	if s.RelStddev() != 0 {
+		t.Fatal("RelStddev of empty sample")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	s := sample(1*time.Second, 3*time.Second, 2*time.Second)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Min() != time.Second || s.Max() != 3*time.Second {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 2*time.Second || s.Median() != 2*time.Second {
+		t.Fatalf("mean/median = %v/%v", s.Mean(), s.Median())
+	}
+	// Population stddev of {1,2,3}s = sqrt(2/3)s.
+	want := time.Duration(float64(time.Second) * math.Sqrt(2.0/3.0))
+	if diff := s.Stddev() - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("stddev = %v, want ~%v", s.Stddev(), want)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	s := sample(4*time.Second, 1*time.Second, 3*time.Second, 2*time.Second)
+	if s.Median() != 2*time.Second {
+		t.Fatalf("median = %v (lower middle expected)", s.Median())
+	}
+}
+
+func TestSingleMeasurement(t *testing.T) {
+	s := sample(5 * time.Second)
+	if s.Stddev() != 0 || s.Median() != 5*time.Second {
+		t.Fatal("single measurement stats wrong")
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := Efficiency(10*time.Second, 2*time.Second, 10); got != 0.5 {
+		t.Fatalf("Efficiency = %v", got)
+	}
+	if Speedup(time.Second, 0) != 0 || Efficiency(time.Second, time.Second, 0) != 0 {
+		t.Fatal("zero guards failed")
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(time.Duration(r))
+		}
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median matches a direct sort-based computation.
+func TestMedianProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		ds := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			ds[i] = time.Duration(r)
+			s.Add(ds[i])
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return s.Median() == ds[(len(ds)-1)/2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := sample(100*time.Millisecond, 110*time.Millisecond, 90*time.Millisecond)
+	if got := s.String(); got == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Gantt renders the recording as a per-worker text timeline: one row per
+// worker, time flowing left to right over width columns, '#' where the
+// worker executes a task and '.' where it idles. It makes load imbalance
+// (and BCW's idle-while-computable stalls) visible at a glance.
+func (r *Recorder) Gantt(w io.Writer, width int) {
+	events := r.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events recorded)")
+		return
+	}
+	if width <= 0 {
+		width = 80
+	}
+	makespan := events[len(events)-1].T
+	if makespan <= 0 {
+		makespan = 1
+	}
+	col := func(t time.Duration) int {
+		c := int(int64(t) * int64(width) / int64(makespan))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	type interval struct{ from, to int }
+	intervals := make(map[int][]interval)
+	open := make(map[int]int)
+	for _, e := range events {
+		switch e.Kind {
+		case EvStart:
+			open[e.Worker] = col(e.T)
+		case EvEnd:
+			if from, ok := open[e.Worker]; ok {
+				intervals[e.Worker] = append(intervals[e.Worker], interval{from, col(e.T)})
+				delete(open, e.Worker)
+			}
+		}
+	}
+	// Workers still marked busy at the end run to the right edge.
+	for wk, from := range open {
+		intervals[wk] = append(intervals[wk], interval{from, width - 1})
+	}
+
+	workers := make([]int, 0, len(intervals))
+	for wk := range intervals {
+		workers = append(workers, wk)
+	}
+	sort.Ints(workers)
+
+	fmt.Fprintf(w, "gantt: %d workers over %v ('#' busy, '.' idle)\n", len(workers), makespan.Round(time.Millisecond))
+	for _, wk := range workers {
+		row := make([]byte, width)
+		for k := range row {
+			row[k] = '.'
+		}
+		var busy int
+		for _, iv := range intervals[wk] {
+			for c := iv.from; c <= iv.to && c < width; c++ {
+				if row[c] != '#' {
+					busy++
+				}
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(w, "w%-3d |%s| %3d%%\n", wk, row, busy*100/width)
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace records scheduling events (task execution intervals per
+// worker, ready-set size changes) and derives load-balance metrics from
+// them: per-worker utilization and the "idle while computable" measure
+// that separates the dynamic EasyHPS pool from the static BCW baseline.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind labels a recorded event.
+type EventKind uint8
+
+const (
+	// EvStart marks a worker starting a task.
+	EvStart EventKind = iota + 1
+	// EvEnd marks a worker finishing a task.
+	EvEnd
+	// EvReady records a change of the computable-set size.
+	EvReady
+)
+
+// Event is one recorded scheduling event.
+type Event struct {
+	T      time.Duration // since recorder creation
+	Kind   EventKind
+	Worker int
+	Vertex int32
+	Ready  int // ready-set size, for EvReady
+}
+
+// Recorder collects events. A nil *Recorder is valid and records nothing,
+// so call sites do not need to guard tracing.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+func (r *Recorder) add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.T = time.Since(r.start)
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// TaskStart records worker w starting vertex v.
+func (r *Recorder) TaskStart(w int, v int32) { r.add(Event{Kind: EvStart, Worker: w, Vertex: v}) }
+
+// TaskEnd records worker w finishing vertex v.
+func (r *Recorder) TaskEnd(w int, v int32) { r.add(Event{Kind: EvEnd, Worker: w, Vertex: v}) }
+
+// Ready records the current size of the computable set.
+func (r *Recorder) Ready(n int) { r.add(Event{Kind: EvReady, Ready: n}) }
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Summary aggregates a recording.
+type Summary struct {
+	// Workers is the number of distinct workers seen.
+	Workers int
+	// Tasks is the number of completed task intervals.
+	Tasks int
+	// Makespan is the time of the last event.
+	Makespan time.Duration
+	// Busy is the per-worker total execution time.
+	Busy map[int]time.Duration
+	// IdleWhileReady accumulates worker-time during which at least one
+	// worker sat idle while the computable set was non-empty — the
+	// situation the paper calls BCW's fatal flaw, which "never happens"
+	// under the dynamic pool (up to dispatch latency).
+	IdleWhileReady time.Duration
+}
+
+// Utilization returns the mean busy fraction across workers.
+func (s Summary) Utilization() float64 {
+	if s.Workers == 0 || s.Makespan == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, b := range s.Busy {
+		total += b
+	}
+	return float64(total) / (float64(s.Makespan) * float64(s.Workers))
+}
+
+// Summarize replays the event log and computes the summary.
+func (r *Recorder) Summarize() Summary {
+	events := r.Events()
+	s := Summary{Busy: make(map[int]time.Duration)}
+	busySince := make(map[int]time.Duration)
+	busy := make(map[int]bool)
+	seen := make(map[int]bool)
+	ready := 0
+	var last time.Duration
+
+	idleWorkers := func() int {
+		n := 0
+		for w := range seen {
+			if !busy[w] {
+				n++
+			}
+		}
+		return n
+	}
+
+	for _, e := range events {
+		if dt := e.T - last; dt > 0 {
+			if ready > 0 {
+				idle := idleWorkers()
+				m := idle
+				if ready < m {
+					m = ready
+				}
+				s.IdleWhileReady += time.Duration(int64(dt) * int64(m))
+			}
+			last = e.T
+		}
+		switch e.Kind {
+		case EvStart:
+			seen[e.Worker] = true
+			busy[e.Worker] = true
+			busySince[e.Worker] = e.T
+		case EvEnd:
+			seen[e.Worker] = true
+			if busy[e.Worker] {
+				s.Busy[e.Worker] += e.T - busySince[e.Worker]
+				busy[e.Worker] = false
+				s.Tasks++
+			}
+		case EvReady:
+			ready = e.Ready
+		}
+		if e.T > s.Makespan {
+			s.Makespan = e.T
+		}
+	}
+	s.Workers = len(seen)
+	return s
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.TaskStart(0, 1)
+	r.TaskEnd(0, 1)
+	r.Ready(3)
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+}
+
+func TestRecorderOrderAndCopy(t *testing.T) {
+	r := New()
+	r.TaskStart(0, 1)
+	time.Sleep(time.Millisecond)
+	r.TaskEnd(0, 1)
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Kind != EvStart || ev[1].Kind != EvEnd {
+		t.Fatalf("events = %+v", ev)
+	}
+	if ev[1].T < ev[0].T {
+		t.Fatal("events out of order")
+	}
+	ev[0].Worker = 99
+	if r.Events()[0].Worker == 99 {
+		t.Fatal("Events did not copy")
+	}
+}
+
+func TestSummarizeBusyAndTasks(t *testing.T) {
+	r := New()
+	r.TaskStart(0, 1)
+	r.TaskStart(1, 2)
+	time.Sleep(5 * time.Millisecond)
+	r.TaskEnd(0, 1)
+	r.TaskEnd(1, 2)
+	s := r.Summarize()
+	if s.Workers != 2 || s.Tasks != 2 {
+		t.Fatalf("Workers=%d Tasks=%d", s.Workers, s.Tasks)
+	}
+	for w := 0; w < 2; w++ {
+		if s.Busy[w] < 3*time.Millisecond {
+			t.Errorf("Busy[%d] = %v, want >= ~5ms", w, s.Busy[w])
+		}
+	}
+	if u := s.Utilization(); u <= 0 || u > 1.01 {
+		t.Errorf("Utilization = %v", u)
+	}
+}
+
+func TestSummarizeIdleWhileReady(t *testing.T) {
+	r := New()
+	// Worker 0 does a task; worker 1 known but idle while ready > 0.
+	r.TaskStart(1, 9)
+	r.TaskEnd(1, 9) // worker 1 now known and idle
+	r.Ready(2)
+	r.TaskStart(0, 1)
+	time.Sleep(10 * time.Millisecond)
+	r.TaskEnd(0, 1)
+	r.Ready(0)
+	s := r.Summarize()
+	if s.IdleWhileReady < 5*time.Millisecond {
+		t.Fatalf("IdleWhileReady = %v, want >= ~10ms", s.IdleWhileReady)
+	}
+}
+
+func TestSummarizeNoIdleWhenReadyZero(t *testing.T) {
+	r := New()
+	r.TaskStart(0, 1)
+	r.TaskEnd(0, 1)
+	r.Ready(0)
+	time.Sleep(5 * time.Millisecond)
+	r.TaskStart(0, 2)
+	r.TaskEnd(0, 2)
+	s := r.Summarize()
+	if s.IdleWhileReady > time.Millisecond {
+		t.Fatalf("IdleWhileReady = %v, want ~0", s.IdleWhileReady)
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	if u := (Summary{}).Utilization(); u != 0 {
+		t.Fatalf("Utilization of empty summary = %v", u)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	r := New()
+	r.TaskStart(0, 1)
+	r.TaskStart(1, 2)
+	time.Sleep(4 * time.Millisecond)
+	r.TaskEnd(1, 2)
+	time.Sleep(4 * time.Millisecond)
+	r.TaskEnd(0, 1)
+	var buf strings.Builder
+	r.Gantt(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "w0 ") || !strings.Contains(out, "w1 ") {
+		t.Fatalf("gantt missing worker rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt rows = %d:\n%s", len(lines), out)
+	}
+	// Worker 0 busy nearly throughout; worker 1 roughly half.
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[2], "#") {
+		t.Fatalf("gantt rows show no work:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf strings.Builder
+	New().Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "no events") {
+		t.Fatalf("empty gantt output: %q", buf.String())
+	}
+}
+
+func TestGanttOpenIntervalRunsToEdge(t *testing.T) {
+	r := New()
+	r.TaskStart(0, 1)
+	time.Sleep(2 * time.Millisecond)
+	r.Ready(1) // a later event sets the makespan; task 1 never ends
+	var buf strings.Builder
+	r.Gantt(&buf, 20)
+	if !strings.Contains(buf.String(), "####") {
+		t.Fatalf("open interval not rendered:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Recording session for EXPERIMENTS.md. Run from the repo root with the
+# machine otherwise idle; takes ~40 minutes.
+set -e
+cd "$(dirname "$0")/.."
+go build -o /tmp/ehbench ./cmd/easyhps-bench
+
+/tmp/ehbench -verify                      > results/verify.txt 2>&1
+/tmp/ehbench -fig 13 -points 4            > results/fig13.txt 2>&1
+/tmp/ehbench -fig 14 -points 4            > results/fig14.txt 2>&1
+/tmp/ehbench -fig 15 -reps 2              > results/fig15.txt 2>&1
+/tmp/ehbench -fig 16 -reps 2              > results/fig16.txt 2>&1
+/tmp/ehbench -fig 17 -points 2 -reps 3    > results/fig17.txt 2>&1
+/tmp/ehbench -ablate all                  > results/ablations.txt 2>&1
+# Paper-scale thread grid (20x20 like the paper's 200/10) for the Fig. 16
+# headline speedups.
+/tmp/ehbench -fig 16 -swgg 320 -nussinov 320 -tgrid 20 > results/fig16_paperscale.txt 2>&1
+echo recorded
