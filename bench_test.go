@@ -6,17 +6,22 @@ package easyhps
 // live in cmd/easyhps-bench; EXPERIMENTS.md records their output.
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dp"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/server"
 )
 
 // benchOpts is a reduced profile: 6x6 processor grid, 4x4 thread grid,
@@ -239,4 +244,86 @@ func BenchmarkRunEndToEndNoEmulation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerThroughput is the first service-level datapoint: N small
+// edit-distance jobs pushed through the job service's HTTP API
+// concurrently, against the same jobs run back-to-back through Run. The
+// jobs/sec metric shows what multiplexing concurrent jobs onto the shared
+// deployment buys over serial batch execution.
+func BenchmarkServerThroughput(b *testing.B) {
+	const jobs = 8
+	runCfg := core.Config{
+		Slaves: 2, Threads: 2,
+		ProcPartition:   dag.Square(16),
+		ThreadPartition: dag.Square(8),
+		RunTimeout:      5 * time.Minute,
+	}
+	specs := make([]server.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = server.JobSpec{Kernel: "editdist", N: 64, Seed: int64(i + 1)}
+	}
+
+	b.Run("server-concurrent", func(b *testing.B) {
+		mgr := server.NewManager(server.ManagerConfig{
+			Run:           runCfg,
+			MaxConcurrent: 4,
+			QueueDepth:    jobs,
+		}, nil)
+		ts := httptest.NewServer(server.NewHandler(mgr))
+		defer ts.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = mgr.Shutdown(ctx)
+		}()
+		c := client.New(ts.URL, ts.Client())
+		ctx := context.Background()
+
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, spec := range specs {
+				wg.Add(1)
+				go func(spec server.JobSpec) {
+					defer wg.Done()
+					st, err := c.Submit(ctx, spec)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					final, err := c.Wait(ctx, st.ID, 2*time.Millisecond)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if final.State != server.StateDone {
+						b.Errorf("job finished %s: %s", final.State, final.Error)
+					}
+				}(spec)
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(jobs*b.N)/time.Since(start).Seconds(), "jobs/sec")
+	})
+
+	b.Run("direct-serial", func(b *testing.B) {
+		problems := make([]core.Problem[int32], jobs)
+		for i := range problems {
+			a := dp.RandomDNA(64, int64(i+1))
+			bb := dp.MutateSeq(a, dp.DNAAlphabet, 0.15, int64(i+2))
+			problems[i] = dp.NewEditDistance(a, bb).Problem()
+		}
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, prob := range problems {
+				if _, err := core.Run(prob, runCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(jobs*b.N)/time.Since(start).Seconds(), "jobs/sec")
+	})
 }

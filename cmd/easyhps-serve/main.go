@@ -1,0 +1,101 @@
+// Command easyhps-serve runs the multi-tenant DP job service: a
+// long-running HTTP server that owns one in-process EasyHPS cluster
+// deployment and multiplexes concurrent DP jobs onto it.
+//
+// Usage:
+//
+//	easyhps-serve -addr :8080 -slaves 3 -threads 4 -max-jobs 2 -queue 16
+//
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"kernel":"editdist","n":400,"seed":7}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/v1/jobs/job-1/result
+//	curl -X DELETE localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener stops, queued
+// jobs are cancelled, and running jobs get -drain to finish before their
+// run contexts are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		slaves   = flag.Int("slaves", 3, "slave computing nodes of the cluster deployment")
+		threads  = flag.Int("threads", 4, "compute goroutines per slave")
+		proc     = flag.Int("proc", 0, "process_partition_size (0 = per-problem default)")
+		thread   = flag.Int("thread", 0, "thread_partition_size (0 = per-problem default)")
+		maxJobs  = flag.Int("max-jobs", 2, "jobs running on the cluster concurrently")
+		queue    = flag.Int("queue", 16, "bounded submission queue depth (overflow answers 429)")
+		maxCells = flag.Int64("max-cells", 16<<20, "largest admitted DP matrix, in cells")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+	)
+	flag.Parse()
+
+	run := core.Config{
+		Slaves:     *slaves,
+		Threads:    *threads,
+		RunTimeout: 15 * time.Minute,
+	}
+	if *proc > 0 {
+		run.ProcPartition = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		run.ThreadPartition = dag.Square(*thread)
+	}
+
+	mgr := server.NewManager(server.ManagerConfig{
+		Run:           run,
+		MaxConcurrent: *maxJobs,
+		QueueDepth:    *queue,
+		MaxCells:      *maxCells,
+	}, nil)
+
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "easyhps-serve: listening on %s (cluster %dx%d, %d run slots, queue %d)\n",
+			*addr, *slaves, *threads, *maxJobs, *queue)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "easyhps-serve:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "easyhps-serve: %v, draining (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "easyhps-serve: http shutdown:", err)
+		}
+		if err := mgr.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "easyhps-serve: job drain:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "easyhps-serve: drained cleanly")
+	}
+}

@@ -32,6 +32,8 @@
 package easyhps
 
 import (
+	"context"
+
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -156,6 +158,13 @@ type (
 
 // Run executes a problem on an in-process emulated cluster.
 func Run(p Problem32, cfg Config) (*Result32, error) { return core.Run(p, cfg) }
+
+// RunContext is Run with cancellation: cancelling ctx stops the master
+// from scheduling further sub-tasks and returns ctx's error once the
+// in-flight sub-tasks drain.
+func RunContext(ctx context.Context, p Problem32, cfg Config) (*Result32, error) {
+	return core.RunContext(ctx, p, cfg)
+}
 
 // RunMaster runs only the master part over an external transport (see
 // ListenMaster), for real multi-process deployments.

@@ -133,6 +133,11 @@ type Config struct {
 	Faults FaultPlan
 	// Trace optionally records processor-level scheduling events.
 	Trace *trace.Recorder
+	// Progress, when non-nil, is called by the master after restore and
+	// after every completed processor-level sub-task with the number of
+	// completed and total sub-tasks of the run. It runs on the master's
+	// receive loop, so it must be fast and must not block.
+	Progress func(completed, total int)
 }
 
 // withDefaults validates cfg against the problem size and fills defaults.

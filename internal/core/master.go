@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -54,7 +55,8 @@ type master[T any] struct {
 
 // runMaster executes the master part over transport tr and returns the
 // completed matrix store. cfg must already have defaults applied.
-func runMaster[T any](p Problem[T], cfg Config, tr comm.Transport, ctrs *counters) (*Result[T], error) {
+// Cancelling ctx finishes the run with ctx's error.
+func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Transport, ctrs *counters) (*Result[T], error) {
 	geom := dag.MatrixGeometry(p.Size, cfg.ProcPartition)
 	graph := dag.Build(p.Kernel.Pattern(), geom)
 	var store matrix.BlockStore[T] = matrix.NewStore[T](geom)
@@ -116,6 +118,20 @@ func runMaster[T any](p Problem[T], cfg Config, tr comm.Transport, ctrs *counter
 			m.finish(fmt.Errorf("core: run exceeded RunTimeout %v with %d sub-tasks remaining", cfg.RunTimeout, m.parser.Remaining()))
 		})
 		defer timer.Stop()
+	}
+
+	// Cancellation watch: the master loop's select lives in the sender and
+	// receive goroutines, so cancellation is injected through finish, which
+	// closes m.done and the dispatcher — every sender then drains with an
+	// End signal and the run unwinds.
+	if cancel := ctx.Done(); cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				m.finish(ctx.Err())
+			case <-m.done:
+			}
+		}()
 	}
 
 	var ftWG sync.WaitGroup
@@ -314,11 +330,21 @@ func (m *master[T]) handleResult(msg comm.Message) {
 	}
 	newly := m.parser.Complete(v)
 	m.afterComplete(v)
+	m.reportProgress()
 	m.disp.Ready(newly...)
 	m.cfg.Trace.Ready(m.disp.ReadyCount())
 	if m.parser.Finished() {
 		m.finish(nil)
 	}
+}
+
+// reportProgress surfaces completed/total processor-level sub-tasks to
+// Config.Progress.
+func (m *master[T]) reportProgress() {
+	if m.cfg.Progress == nil {
+		return
+	}
+	m.cfg.Progress(m.graph.N-m.parser.Remaining(), m.graph.N)
 }
 
 // afterComplete runs the memory-reclamation accounting for a finished
@@ -385,6 +411,7 @@ func (m *master[T]) restore() error {
 	for id := range ready {
 		frontier = append(frontier, id)
 	}
+	m.reportProgress()
 	m.disp.Ready(frontier...)
 	if m.parser.Finished() {
 		m.finish(nil)

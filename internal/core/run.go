@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,15 @@ import (
 // blocks until the DP matrix is complete and returns the blocked result
 // with run statistics.
 func Run[T any](p Problem[T], cfg Config) (*Result[T], error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the master stops scheduling, slaves finish the
+// sub-tasks already in flight, and the run returns ctx's error. The
+// cancellation latency is therefore bounded by one processor-level
+// sub-task.
+func RunContext[T any](ctx context.Context, p Problem[T], cfg Config) (*Result[T], error) {
 	cfg, err := prepare(p, cfg)
 	if err != nil {
 		return nil, err
@@ -36,7 +46,7 @@ func Run[T any](p Problem[T], cfg Config) (*Result[T], error) {
 	}
 
 	start := time.Now()
-	res, err := runMaster(p, cfg, nw.Endpoint(0), ctrs)
+	res, err := runMaster(ctx, p, cfg, nw.Endpoint(0), ctrs)
 	elapsed := time.Since(start)
 	nw.Close()
 	slaves.Wait()
@@ -54,6 +64,12 @@ func Run[T any](p Problem[T], cfg Config) (*Result[T], error) {
 // cfg.Slaves is taken from the transport size. Every worker process must
 // run RunSlave with an identical Problem and Config.
 func RunMaster[T any](p Problem[T], cfg Config, tr comm.Transport) (*Result[T], error) {
+	return RunMasterContext(context.Background(), p, cfg, tr)
+}
+
+// RunMasterContext is RunMaster with cancellation, with the same
+// semantics as RunContext.
+func RunMasterContext[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Transport) (*Result[T], error) {
 	cfg.Slaves = tr.Size() - 1
 	cfg, err := prepare(p, cfg)
 	if err != nil {
@@ -61,7 +77,7 @@ func RunMaster[T any](p Problem[T], cfg Config, tr comm.Transport) (*Result[T], 
 	}
 	ctrs := &counters{}
 	start := time.Now()
-	res, err := runMaster(p, cfg, tr, ctrs)
+	res, err := runMaster(ctx, p, cfg, tr, ctrs)
 	if err != nil {
 		return nil, err
 	}

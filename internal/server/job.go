@@ -1,0 +1,483 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is a job lifecycle state. The machine is
+//
+//	queued -> running -> done
+//	                  -> failed
+//	queued/running    -> cancelled
+//
+// and every terminal state is final.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Submission and lifecycle errors, mapped to HTTP statuses by the API
+// layer.
+var (
+	// ErrBusy means the submission queue is full (backpressure; HTTP 429).
+	ErrBusy = errors.New("server: submission queue full")
+	// ErrShuttingDown means the manager no longer accepts jobs (HTTP 503).
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrNotFound means the job id is unknown (HTTP 404).
+	ErrNotFound = errors.New("server: no such job")
+	// ErrNotDone means the job has no result yet (HTTP 409).
+	ErrNotDone = errors.New("server: job not finished")
+	// ErrFinished means the job already reached a terminal state
+	// (HTTP 409 on cancel).
+	ErrFinished = errors.New("server: job already finished")
+)
+
+// Job is one submitted DP run. All mutable fields are guarded by mu
+// except the progress counters, which the master's receive loop updates
+// through atomics.
+type Job struct {
+	// ID is the globally unique job id, "job-<n>" with n drawn from the
+	// manager's monotonic counter — never reused within a manager, so a
+	// cancelled-then-resubmitted job can never collide with an in-flight
+	// one.
+	ID   string
+	Spec JobSpec
+
+	problem core.Problem[int32]
+	finish  finishFunc
+
+	completed, total atomic.Int64
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kernel   string   `json:"kernel"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Progress counts completed and total processor-level sub-tasks, surfaced
+// live from the master while the job runs.
+type Progress struct {
+	Completed int64 `json:"completed"`
+	Total     int64 `json:"total"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		Kernel: j.Spec.Kernel,
+		State:  j.state,
+		Progress: Progress{
+			Completed: j.completed.Load(),
+			Total:     j.total.Load(),
+		},
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the finished job's result, or ErrNotDone / the job's
+// failure.
+func (j *Job) Result() (*JobResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		// Terminal without a result: wraps ErrFinished so the API layer
+		// answers 409, not 400.
+		return nil, fmt.Errorf("%w; job %s failed: %s", ErrFinished, j.ID, j.err)
+	case StateCancelled:
+		return nil, fmt.Errorf("%w; job %s was cancelled", ErrFinished, j.ID)
+	default:
+		return nil, ErrNotDone
+	}
+}
+
+// ManagerConfig sizes the job service.
+type ManagerConfig struct {
+	// Run is the shared cluster deployment every job executes on:
+	// Slaves x Threads with the configured partition sizes. The manager
+	// owns this deployment for its whole lifetime; jobs never choose
+	// their own.
+	Run core.Config
+	// MaxConcurrent is the number of run slots — jobs executing on the
+	// cluster at once. Default 2.
+	MaxConcurrent int
+	// QueueDepth bounds the submission queue behind the run slots;
+	// submissions beyond it are rejected with ErrBusy. Default 16.
+	QueueDepth int
+	// MaxCells rejects jobs whose DP matrix exceeds this size (admission
+	// control against oversized tenants). 0 means 16M cells.
+	MaxCells int64
+	// RetryAfter is the backpressure hint returned with ErrBusy
+	// rejections. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 16 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Run.Slaves < 1 {
+		c.Run.Slaves = 2
+	}
+	if c.Run.Threads < 1 {
+		c.Run.Threads = 2
+	}
+	return c
+}
+
+// Manager is the multi-tenant job service: it owns the persistent cluster
+// deployment, admits jobs into a bounded queue, runs at most
+// MaxConcurrent of them at a time, and tracks every job it has ever
+// accepted by id.
+type Manager struct {
+	cfg ManagerConfig
+	reg *Registry
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	metrics *metrics
+
+	mu       sync.Mutex
+	seq      uint64
+	jobs     map[string]*Job
+	running  map[string]*Job
+	draining bool
+}
+
+// NewManager starts a manager with MaxConcurrent run slots.
+func NewManager(cfg ManagerConfig, reg *Registry) *Manager {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &Manager{
+		cfg:     cfg,
+		reg:     reg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		jobs:    make(map[string]*Job),
+		running: make(map[string]*Job),
+		metrics: newMetrics(),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the kernel registry jobs are validated against.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// RetryAfter is the backpressure hint for ErrBusy rejections.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Submit validates spec, assigns a globally unique id and enqueues the
+// job. It returns ErrBusy when the bounded queue is full and
+// ErrShuttingDown after Shutdown began.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	problem, finish, err := m.reg.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cells := int64(problem.Size.Rows) * int64(problem.Size.Cols); cells > m.cfg.MaxCells {
+		return nil, fmt.Errorf("server: job size %d cells exceeds limit %d", cells, m.cfg.MaxCells)
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", m.seq),
+		Spec:      spec,
+		problem:   problem,
+		finish:    finish,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		m.metrics.submitted.Add(1)
+		return j, nil
+	default:
+		// Backpressure: reject instead of buffering without bound. The
+		// id is spent — the counter is monotonic, so rejected ids are
+		// simply never visible.
+		m.mu.Lock()
+		delete(m.jobs, j.ID)
+		m.mu.Unlock()
+		m.metrics.rejected.Add(1)
+		return nil, ErrBusy
+	}
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List snapshots every known job, newest first.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	sortStatuses(out)
+	return out
+}
+
+// Cancel stops a job: a queued job is finalized immediately (the worker
+// skips it when it surfaces from the queue), a running job has its run
+// context cancelled — the master stops scheduling and the job finalizes
+// once the in-flight sub-tasks drain. Cancelling a terminal job returns
+// ErrFinished.
+func (m *Manager) Cancel(id string) error {
+	j, err := m.Get(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		m.metrics.observeFinal(StateCancelled, 0)
+		return nil
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		return nil
+	default:
+		j.mu.Unlock()
+		return ErrFinished
+	}
+}
+
+// QueueDepth returns the number of jobs waiting for a run slot.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Shutdown drains the service: submissions are refused, queued jobs are
+// cancelled, and running jobs are given until ctx's deadline to finish —
+// after that their run contexts are cancelled and Shutdown waits for the
+// unwind. It returns nil when every job finalized.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if already {
+		return errors.New("server: shutdown already in progress")
+	}
+	close(m.quit)
+
+	// Cancel jobs still waiting in the queue; workers are told to quit,
+	// so nothing pops them anymore.
+	for {
+		select {
+		case j := <-m.queue:
+			j.mu.Lock()
+			if j.state == StateQueued {
+				j.state = StateCancelled
+				j.finished = time.Now()
+				close(j.done)
+				m.metrics.observeFinal(StateCancelled, 0)
+			}
+			j.mu.Unlock()
+			continue
+		default:
+		}
+		break
+	}
+
+	workers := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workers)
+	}()
+	select {
+	case <-workers:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline passed with jobs still running: cancel their contexts and
+	// wait for the bounded unwind (one processor-level sub-task each).
+	m.mu.Lock()
+	for _, j := range m.running {
+		j.mu.Lock()
+		if cancel := j.cancel; cancel != nil {
+			cancel()
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	<-workers
+	return ctx.Err()
+}
+
+// worker is one run slot: it pulls admitted jobs off the queue and
+// executes them on the shared cluster deployment until Shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		default:
+		}
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job through core.RunContext, translating the outcome
+// into the job state machine.
+func (m *Manager) run(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.running[j.ID] = j
+	m.mu.Unlock()
+
+	cfg := m.cfg.Run
+	cfg.Progress = func(completed, total int) {
+		j.completed.Store(int64(completed))
+		j.total.Store(int64(total))
+	}
+	res, err := core.RunContext(ctx, j.problem, cfg)
+
+	m.mu.Lock()
+	delete(m.running, j.ID)
+	m.mu.Unlock()
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	latency := j.finished.Sub(j.started)
+	var final State
+	switch {
+	case err == nil:
+		result := j.finish(res)
+		j.result = &result
+		j.state = StateDone
+		m.metrics.addRunStats(res.Stats)
+	case ctx.Err() != nil:
+		j.state = StateCancelled
+		j.err = context.Canceled.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	final = j.state
+	close(j.done)
+	j.mu.Unlock()
+	m.metrics.observeFinal(final, latency)
+}
+
+func sortStatuses(s []JobStatus) {
+	sort.Slice(s, func(i, k int) bool { return s[i].SubmittedAt.After(s[k].SubmittedAt) })
+}

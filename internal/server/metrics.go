@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the per-job latency
+// histogram, Prometheus-style with a +Inf catch-all.
+var latencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// metrics is the service-level counter set behind GET /metrics. Job-state
+// gauges are derived from the manager's live job table at exposition
+// time; everything here is cumulative.
+type metrics struct {
+	submitted atomic.Int64 // jobs admitted into the queue
+	rejected  atomic.Int64 // submissions refused with 429
+
+	// final[state] counts jobs that reached each terminal state.
+	finalMu sync.Mutex
+	final   map[State]int64
+
+	// Run totals accumulated from completed runs' core.Stats.
+	tasks    atomic.Int64
+	subTasks atomic.Int64
+	redist   atomic.Int64
+	messages atomic.Int64
+	payload  atomic.Int64
+
+	// Per-job latency histogram over jobs that actually ran.
+	histMu    sync.Mutex
+	histCount [12]int64 // len(latencyBuckets)+1, last is +Inf
+	histSum   float64
+	histN     int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{final: make(map[State]int64)}
+}
+
+// observeFinal records a terminal transition. latency is zero for jobs
+// cancelled before they ran; those count toward the state totals but not
+// the latency histogram.
+func (x *metrics) observeFinal(s State, latency time.Duration) {
+	x.finalMu.Lock()
+	x.final[s]++
+	x.finalMu.Unlock()
+	if latency <= 0 {
+		return
+	}
+	sec := latency.Seconds()
+	x.histMu.Lock()
+	idx := sort.SearchFloat64s(latencyBuckets, sec)
+	x.histCount[idx]++
+	x.histSum += sec
+	x.histN++
+	x.histMu.Unlock()
+}
+
+// addRunStats folds one completed run's scheduling statistics into the
+// service totals (sub-task throughput, traffic).
+func (x *metrics) addRunStats(s core.Stats) {
+	x.tasks.Add(s.Tasks)
+	x.subTasks.Add(s.SubTasks)
+	x.redist.Add(s.Redistributions)
+	x.messages.Add(s.Messages)
+	x.payload.Add(s.PayloadBytes)
+}
+
+// WriteMetrics writes the text exposition (Prometheus-compatible format)
+// of the manager's metrics.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	x := m.metrics
+
+	m.mu.Lock()
+	byState := make(map[State]int64)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		byState[j.state]++
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP easyhps_jobs Current jobs by state.\n# TYPE easyhps_jobs gauge\n")
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "easyhps_jobs{state=%q} %d\n", s, byState[s])
+	}
+
+	x.finalMu.Lock()
+	done, failed, cancelled := x.final[StateDone], x.final[StateFailed], x.final[StateCancelled]
+	x.finalMu.Unlock()
+	fmt.Fprintf(w, "# HELP easyhps_jobs_finished_total Jobs that reached a terminal state.\n# TYPE easyhps_jobs_finished_total counter\n")
+	fmt.Fprintf(w, "easyhps_jobs_finished_total{state=\"done\"} %d\n", done)
+	fmt.Fprintf(w, "easyhps_jobs_finished_total{state=\"failed\"} %d\n", failed)
+	fmt.Fprintf(w, "easyhps_jobs_finished_total{state=\"cancelled\"} %d\n", cancelled)
+
+	fmt.Fprintf(w, "# HELP easyhps_jobs_submitted_total Jobs admitted into the queue.\n# TYPE easyhps_jobs_submitted_total counter\neasyhps_jobs_submitted_total %d\n", x.submitted.Load())
+	fmt.Fprintf(w, "# HELP easyhps_jobs_rejected_total Submissions refused by admission control.\n# TYPE easyhps_jobs_rejected_total counter\neasyhps_jobs_rejected_total %d\n", x.rejected.Load())
+	fmt.Fprintf(w, "# HELP easyhps_queue_depth Jobs waiting for a run slot.\n# TYPE easyhps_queue_depth gauge\neasyhps_queue_depth %d\n", m.QueueDepth())
+	fmt.Fprintf(w, "# HELP easyhps_queue_capacity Size of the bounded submission queue.\n# TYPE easyhps_queue_capacity gauge\neasyhps_queue_capacity %d\n", m.cfg.QueueDepth)
+	fmt.Fprintf(w, "# HELP easyhps_run_slots Maximum concurrently running jobs.\n# TYPE easyhps_run_slots gauge\neasyhps_run_slots %d\n", m.cfg.MaxConcurrent)
+
+	fmt.Fprintf(w, "# HELP easyhps_tasks_total Processor-level sub-tasks completed across all runs.\n# TYPE easyhps_tasks_total counter\neasyhps_tasks_total %d\n", x.tasks.Load())
+	fmt.Fprintf(w, "# HELP easyhps_subtasks_total Thread-level sub-sub-tasks executed across all runs.\n# TYPE easyhps_subtasks_total counter\neasyhps_subtasks_total %d\n", x.subTasks.Load())
+	fmt.Fprintf(w, "# HELP easyhps_redistributions_total Processor-level timeout recoveries across all runs.\n# TYPE easyhps_redistributions_total counter\neasyhps_redistributions_total %d\n", x.redist.Load())
+	fmt.Fprintf(w, "# HELP easyhps_messages_total Transport messages across all runs.\n# TYPE easyhps_messages_total counter\neasyhps_messages_total %d\n", x.messages.Load())
+	fmt.Fprintf(w, "# HELP easyhps_payload_bytes_total Transport payload bytes across all runs.\n# TYPE easyhps_payload_bytes_total counter\neasyhps_payload_bytes_total %d\n", x.payload.Load())
+
+	x.histMu.Lock()
+	counts, sum, n := x.histCount, x.histSum, x.histN
+	x.histMu.Unlock()
+	fmt.Fprintf(w, "# HELP easyhps_job_latency_seconds Run latency of finished jobs.\n# TYPE easyhps_job_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "easyhps_job_latency_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "easyhps_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "easyhps_job_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "easyhps_job_latency_seconds_count %d\n", n)
+}

@@ -1,0 +1,259 @@
+// Package server is the multi-tenant DP job service over the EasyHPS
+// runtime: a long-running job manager that owns one in-process cluster
+// deployment (Slaves x Threads plus partition sizes) and multiplexes many
+// concurrent DP jobs onto it, an HTTP API (submit / status / result /
+// cancel) in front of it, and a text-exposition metrics endpoint. The
+// manager applies admission control — a bounded submission queue behind a
+// fixed number of run slots — so overload surfaces as an immediate "busy"
+// answer instead of unbounded buffering.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+)
+
+// JobSpec is the wire description of one DP job: which kernel from the
+// registry to run and its inputs. Sequence kernels take explicit SeqA/SeqB
+// (SeqA alone for Nussinov) or generate reproducible random workloads of
+// length N from Seed when the sequences are omitted.
+type JobSpec struct {
+	// Kernel is a registry name; see Registry.Names.
+	Kernel string `json:"kernel"`
+	// SeqA and SeqB are the explicit input sequences of the pairwise
+	// kernels (editdist, lcs, needleman, swgg); Nussinov uses SeqA only.
+	SeqA string `json:"seq_a,omitempty"`
+	SeqB string `json:"seq_b,omitempty"`
+	// N is the generated-workload size used when sequences are omitted:
+	// sequence length for the alignment kernels, item count for knapsack.
+	N int `json:"n,omitempty"`
+	// Seed makes generated workloads reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Capacity is the knapsack capacity (defaults to 4*N).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// JobResult is the answer of a finished job: the kernel's headline scalar
+// (edit distance, alignment score, pair count, ...) plus a human-readable
+// description and the run's scheduling statistics.
+type JobResult struct {
+	Kernel string `json:"kernel"`
+	// Value is the kernel-specific scalar extracted from the completed
+	// matrix.
+	Value int64 `json:"value"`
+	// Detail says what Value means for this kernel.
+	Detail string `json:"detail"`
+	// Cells is the DP matrix size that was computed.
+	Cells int64 `json:"cells"`
+	// Stats summarizes the run.
+	Stats RunStats `json:"stats"`
+}
+
+// RunStats is the JSON projection of core.Stats.
+type RunStats struct {
+	Tasks           int64   `json:"tasks"`
+	Dispatches      int64   `json:"dispatches"`
+	SubTasks        int64   `json:"sub_tasks"`
+	Redistributions int64   `json:"redistributions"`
+	Messages        int64   `json:"messages"`
+	PayloadBytes    int64   `json:"payload_bytes"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+}
+
+func projectStats(s core.Stats) RunStats {
+	return RunStats{
+		Tasks:           s.Tasks,
+		Dispatches:      s.Dispatches,
+		SubTasks:        s.SubTasks,
+		Redistributions: s.Redistributions,
+		Messages:        s.Messages,
+		PayloadBytes:    s.PayloadBytes,
+		ElapsedSeconds:  s.Elapsed.Seconds(),
+	}
+}
+
+// buildFunc validates a spec and assembles the runnable problem plus the
+// finisher that extracts the kernel's answer from the completed run.
+type buildFunc func(spec JobSpec) (core.Problem[int32], finishFunc, error)
+
+type finishFunc func(res *core.Result[int32]) JobResult
+
+// KernelEntry describes one registered kernel.
+type KernelEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	build       buildFunc
+}
+
+// Registry maps kernel names to builders over the internal/dp
+// applications. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	kernels map[string]KernelEntry
+}
+
+// NewRegistry returns a registry populated with the built-in int32 DP
+// kernels.
+func NewRegistry() *Registry {
+	r := &Registry{kernels: make(map[string]KernelEntry)}
+	r.register(KernelEntry{
+		Name:        "editdist",
+		Description: "Levenshtein edit distance (wavefront)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			a, b, err := pairInputs(spec, dp.DNAAlphabet)
+			if err != nil {
+				return core.Problem[int32]{}, nil, err
+			}
+			k := dp.NewEditDistance(a, b)
+			return k.Problem(), scalarFinish(spec.Kernel, "edit distance", func(m [][]int32) int64 {
+				return int64(k.Distance(m))
+			}), nil
+		},
+	})
+	r.register(KernelEntry{
+		Name:        "lcs",
+		Description: "longest common subsequence length (wavefront)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			a, b, err := pairInputs(spec, dp.DNAAlphabet)
+			if err != nil {
+				return core.Problem[int32]{}, nil, err
+			}
+			k := dp.NewLCS(a, b)
+			return k.Problem(), scalarFinish(spec.Kernel, "LCS length", func(m [][]int32) int64 {
+				return int64(m[len(a)-1][len(b)-1])
+			}), nil
+		},
+	})
+	r.register(KernelEntry{
+		Name:        "needleman",
+		Description: "Needleman-Wunsch global alignment score (wavefront)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			a, b, err := pairInputs(spec, dp.DNAAlphabet)
+			if err != nil {
+				return core.Problem[int32]{}, nil, err
+			}
+			k := dp.NewNeedlemanWunsch(a, b)
+			return k.Problem(), scalarFinish(spec.Kernel, "global alignment score", func(m [][]int32) int64 {
+				return int64(k.GlobalScore(m))
+			}), nil
+		},
+	})
+	r.register(KernelEntry{
+		Name:        "swgg",
+		Description: "Smith-Waterman local alignment with general gaps (row/column)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			a, b, err := pairInputs(spec, dp.DNAAlphabet)
+			if err != nil {
+				return core.Problem[int32]{}, nil, err
+			}
+			k := dp.NewSWGG(a, b)
+			return k.Problem(), scalarFinish(spec.Kernel, "best local alignment score", func(m [][]int32) int64 {
+				score, _, _ := dp.BestLocal(m)
+				return int64(score)
+			}), nil
+		},
+	})
+	r.register(KernelEntry{
+		Name:        "nussinov",
+		Description: "Nussinov RNA folding pair count (triangular)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			s := []byte(spec.SeqA)
+			if len(s) == 0 {
+				if spec.N <= 0 {
+					return core.Problem[int32]{}, nil, fmt.Errorf("nussinov needs seq_a or n > 0")
+				}
+				s = dp.RandomRNA(spec.N, spec.Seed)
+			}
+			k := dp.NewNussinov(s)
+			return k.Problem(), scalarFinish(spec.Kernel, "max base pairs", func(m [][]int32) int64 {
+				return int64(m[0][len(s)-1])
+			}), nil
+		},
+	})
+	r.register(KernelEntry{
+		Name:        "knapsack",
+		Description: "0/1 knapsack best value (row-only)",
+		build: func(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+			if spec.N <= 0 {
+				return core.Problem[int32]{}, nil, fmt.Errorf("knapsack needs n > 0 items")
+			}
+			capacity := spec.Capacity
+			if capacity <= 0 {
+				capacity = 4 * spec.N
+			}
+			k := dp.NewKnapsack(spec.N, capacity, spec.Seed)
+			return k.Problem(), scalarFinish(spec.Kernel, "best knapsack value", func(m [][]int32) int64 {
+				return int64(k.Best(m))
+			}), nil
+		},
+	})
+	return r
+}
+
+func (r *Registry) register(e KernelEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kernels[e.Name] = e
+}
+
+// Names lists the registered kernels sorted by name.
+func (r *Registry) Names() []KernelEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]KernelEntry, 0, len(r.kernels))
+	for _, e := range r.kernels {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Build validates spec against the registry and returns the runnable
+// problem plus its finisher.
+func (r *Registry) Build(spec JobSpec) (core.Problem[int32], finishFunc, error) {
+	r.mu.RLock()
+	e, ok := r.kernels[spec.Kernel]
+	r.mu.RUnlock()
+	if !ok {
+		return core.Problem[int32]{}, nil, fmt.Errorf("unknown kernel %q", spec.Kernel)
+	}
+	return e.build(spec)
+}
+
+// pairInputs resolves the two input sequences of a pairwise kernel:
+// explicit seq_a/seq_b, or a reproducible random pair of length N (the
+// second sequence a 15%-mutated copy of the first, so alignments have
+// realistic structure).
+func pairInputs(spec JobSpec, alphabet string) ([]byte, []byte, error) {
+	if spec.SeqA != "" && spec.SeqB != "" {
+		return []byte(spec.SeqA), []byte(spec.SeqB), nil
+	}
+	if spec.SeqA != "" || spec.SeqB != "" {
+		return nil, nil, fmt.Errorf("%s needs both seq_a and seq_b (or neither plus n)", spec.Kernel)
+	}
+	if spec.N <= 0 {
+		return nil, nil, fmt.Errorf("%s needs seq_a+seq_b or n > 0", spec.Kernel)
+	}
+	a := dp.RandomSeq(alphabet, spec.N, spec.Seed)
+	b := dp.MutateSeq(a, alphabet, 0.15, spec.Seed+1)
+	return a, b, nil
+}
+
+// scalarFinish builds a finisher that assembles the matrix and extracts
+// one scalar from it.
+func scalarFinish(kernel, detail string, extract func([][]int32) int64) finishFunc {
+	return func(res *core.Result[int32]) JobResult {
+		m := res.Matrix()
+		return JobResult{
+			Kernel: kernel,
+			Value:  extract(m),
+			Detail: detail,
+			Cells:  int64(len(m)) * int64(len(m[0])),
+			Stats:  projectStats(res.Stats),
+		}
+	}
+}

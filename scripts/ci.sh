@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The canonical check for this repository: formatting, vet, build, and the
+# full test suite under the race detector (the job service multiplexes
+# concurrent jobs onto one shared cluster — exactly where -race earns its
+# keep). CI and pre-push hooks should run this script and nothing else.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
