@@ -160,6 +160,7 @@ func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Tra
 	// All End signals sent; shut the endpoint to unblock the receive
 	// loop, then collect the helpers.
 	m.tr.Close()
+	//lint:ignore ctx-select bounded join: tr.Close() above forces recvLoop's Recv to error out, and cancellation already flowed through finish — selecting on ctx here would leak the loop
 	<-recvDone
 	ftWG.Wait()
 

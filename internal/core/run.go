@@ -15,6 +15,7 @@ import (
 // blocks until the DP matrix is complete and returns the blocked result
 // with run statistics.
 func Run[T any](p Problem[T], cfg Config) (*Result[T], error) {
+	//lint:ignore naked-background Run is the context-free compatibility entry point; no caller context exists to thread
 	return RunContext(context.Background(), p, cfg)
 }
 
@@ -64,6 +65,7 @@ func RunContext[T any](ctx context.Context, p Problem[T], cfg Config) (*Result[T
 // cfg.Slaves is taken from the transport size. Every worker process must
 // run RunSlave with an identical Problem and Config.
 func RunMaster[T any](p Problem[T], cfg Config, tr comm.Transport) (*Result[T], error) {
+	//lint:ignore naked-background RunMaster is the context-free compatibility entry point; no caller context exists to thread
 	return RunMasterContext(context.Background(), p, cfg, tr)
 }
 

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedBackground flags context.Background() and context.TODO() in
+// library packages (everything under internal/ that is not a main
+// package; test files are never loaded). A detached context in library
+// code severs the caller's cancellation chain: work started under it
+// outlives the request, the job, or the shutdown deadline that should
+// have bounded it — exactly the bug class PR 1's context plumbing was
+// added to prevent.
+//
+// Legitimate detachment points (context-free compatibility entry points,
+// a manager-lifetime root context) must carry a
+// //lint:ignore naked-background <reason> so the exception is explicit
+// and auditable.
+type NakedBackground struct{}
+
+// NewNakedBackground returns the rule.
+func NewNakedBackground() *NakedBackground { return &NakedBackground{} }
+
+func (*NakedBackground) Name() string { return "naked-background" }
+func (*NakedBackground) Doc() string {
+	return "context.Background()/TODO() in library code severs the caller's cancellation chain"
+}
+
+// CheckPackage implements PackageRule.
+func (r *NakedBackground) CheckPackage(p *Package, report Reporter) {
+	if p.IsMain() || !isLibraryPath(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			switch {
+			case isPkgFunc(fn, "context", "Background"):
+				report(call.Pos(), "context.Background() in library code: accept a caller context instead (or justify with //lint:ignore naked-background <reason>)")
+			case isPkgFunc(fn, "context", "TODO"):
+				report(call.Pos(), "context.TODO() in library code: accept a caller context instead (or justify with //lint:ignore naked-background <reason>)")
+			}
+			return true
+		})
+	}
+}
+
+// isLibraryPath reports whether the import path denotes library code
+// subject to the rule.
+func isLibraryPath(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "testing"
+
+func TestNakedBackgroundInLibrary(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "context"
+
+func start() context.Context {
+	return context.Background()
+}
+
+func later() context.Context {
+	return context.TODO()
+}
+`, NewNakedBackground())
+	wantFindings(t, got,
+		"5: naked-background: context.Background() in library code",
+		"9: naked-background: context.TODO() in library code",
+	)
+}
+
+func TestNakedBackgroundMainPackageExempt(t *testing.T) {
+	got := checkFixture(t, "repro/cmd/easyhps-x", `package main
+import "context"
+
+func main() {
+	_ = context.Background()
+}
+`, NewNakedBackground())
+	wantFindings(t, got)
+}
+
+func TestNakedBackgroundNonInternalExempt(t *testing.T) {
+	// The facade package at the module root is a public compatibility
+	// surface, not internal library code.
+	got := checkFixture(t, "repro", `package easyhps
+import "context"
+
+func run() context.Context {
+	return context.Background()
+}
+`, NewNakedBackground())
+	wantFindings(t, got)
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo measures the analyzer's wall-time over the full
+// repository — load (parse + type-check, including stdlib dependencies
+// from source) plus all rules — so the cost of the CI gate stays visible
+// in the benchmark trajectory as the rule set and the codebase grow.
+func BenchmarkLintRepo(b *testing.B) {
+	root := repoRoot()
+	for i := 0; i < b.N; i++ {
+		prog, err := Load(root, "./...")
+		if err != nil {
+			b.Fatalf("Load: %v", err)
+		}
+		findings := NewRunner(prog.Fset).Run(prog.Pkgs)
+		if len(findings) != 0 {
+			b.Fatalf("repository not clean: %v", findings[0])
+		}
+	}
+}
+
+// BenchmarkLintRules isolates the rule passes from loading: the program
+// is type-checked once and the rules run per iteration.
+func BenchmarkLintRules(b *testing.B) {
+	prog, err := Load(repoRoot(), "./...")
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := NewRunner(prog.Fset).Run(prog.Pkgs); len(findings) != 0 {
+			b.Fatalf("repository not clean: %v", findings[0])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import "testing"
+
+// The import path places fixtures inside the rule's default scope.
+const ctxScope = "repro/internal/core"
+
+func TestCtxSelectNakedSend(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+`, NewCtxSelect())
+	wantFindings(t, got, "5: ctx-select: blocking send on ch")
+}
+
+func TestCtxSelectNakedReceive(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+`, NewCtxSelect())
+	wantFindings(t, got, "5: ctx-select: blocking receive from ch")
+}
+
+func TestCtxSelectGuardedIsClean(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	case <-ctx.Done():
+	}
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}
+
+func TestCtxSelectDefaultIsClean(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}
+
+func TestCtxSelectWithoutDoneFlagged(t *testing.T) {
+	// A blocking select with ctx in scope but no Done/default case is
+	// reported once, not per operation.
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}
+`, NewCtxSelect())
+	wantFindings(t, got, "5: ctx-select: select blocks with ctx in scope but has no ctx.Done() or default case")
+}
+
+func TestCtxSelectDoneVariable(t *testing.T) {
+	// A select on a local variable bound to ctx.Done() is recognized —
+	// the master's cancellation watcher uses exactly this shape.
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	cancel := ctx.Done()
+	select {
+	case <-cancel:
+	case <-ch:
+	}
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}
+
+func TestCtxSelectDirectDoneReceiveClean(t *testing.T) {
+	// Waiting on ctx.Done() itself is cancellation-aware by definition.
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}
+
+func TestCtxSelectFuncLitInheritsCtx(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+`, NewCtxSelect())
+	wantFindings(t, got, "6: ctx-select: blocking receive from ch")
+}
+
+func TestCtxSelectNoCtxInScope(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+
+func f(ch chan int) int {
+	ch <- 1
+	return <-ch
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}
+
+func TestCtxSelectRangeOverChannel(t *testing.T) {
+	got := checkFixture(t, ctxScope, `package core
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+`, NewCtxSelect())
+	wantFindings(t, got, "5: ctx-select: range over channel ch")
+}
+
+func TestCtxSelectOutOfScopePackage(t *testing.T) {
+	got := checkFixture(t, "repro/internal/seqio", `package seqio
+import "context"
+
+func f(ctx context.Context, ch chan int) {
+	ch <- 1
+}
+`, NewCtxSelect())
+	wantFindings(t, got)
+}

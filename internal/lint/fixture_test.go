@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sync"
+	"testing"
+)
+
+// The fixture checker compiles small source snippets in memory (go/parser
+// + go/types) and runs selected rules over them, so every rule's positive
+// and negative cases are asserted against exact findings. One shared
+// FileSet and source importer keep the stdlib type-checking cost paid
+// once across the whole test run.
+var (
+	fixMu   sync.Mutex
+	fixFset *token.FileSet
+	fixImp  types.ImporterFrom
+	fixSeq  int
+)
+
+// checkFixture type-checks src as a single-file package with the given
+// import path and returns the findings of the given rules formatted as
+// "line: rule: message".
+func checkFixture(t *testing.T, importPath, src string, rules ...Rule) []string {
+	t.Helper()
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if fixFset == nil {
+		build.Default.CgoEnabled = false
+		fixFset = token.NewFileSet()
+		fixImp = importer.ForCompiler(fixFset, "source", nil).(types.ImporterFrom)
+	}
+	fixSeq++
+	name := fmt.Sprintf("fix%d.go", fixSeq)
+	f, err := parser.ParseFile(fixFset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: fixImp}
+	tpkg, err := conf.Check(importPath, fixFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	p := &Package{
+		Path:  importPath,
+		Name:  tpkg.Name(),
+		Fset:  fixFset,
+		Files: []*ast.File{f},
+		Pkg:   tpkg,
+		Info:  info,
+	}
+	var out []string
+	for _, fd := range NewRunner(fixFset, rules...).Run([]*Package{p}) {
+		out = append(out, fmt.Sprintf("%d: %s: %s", fd.Pos.Line, fd.Rule, fd.Msg))
+	}
+	return out
+}
+
+// wantFindings asserts that got matches want: same length, and each got
+// finding starts with the corresponding "line: rule" prefix.
+func wantFindings(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i, w := range want {
+		if len(got[i]) < len(w) || got[i][:len(w)] != w {
+			t.Errorf("finding %d = %q, want prefix %q", i, got[i], w)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GobRegister cross-checks gob registration over the whole program: every
+// concrete type that can cross a gob-encoded message envelope through an
+// interface field must have a matching gob.Register call somewhere, or
+// the receiving side of comm.Transport panics at runtime — on the first
+// fault-injected redistribution that happens to carry that payload, not
+// in any unit test that forgot the path.
+//
+// An "envelope" is any type passed to (*gob.Encoder).Encode/EncodeValue
+// or (*gob.Decoder).Decode/DecodeValue. For each envelope whose exported
+// field graph reaches an interface type, the rule finds the concrete
+// types assigned into those fields (composite literals and field
+// assignments) and requires each to be registered. If such an envelope
+// exists but the program contains no gob.Register call at all, the
+// encode site itself is flagged.
+type GobRegister struct{}
+
+// NewGobRegister returns the rule.
+func NewGobRegister() *GobRegister { return &GobRegister{} }
+
+func (*GobRegister) Name() string { return "gob-register" }
+func (*GobRegister) Doc() string {
+	return "concrete types crossing gob-encoded transport envelopes need gob.Register"
+}
+
+// ifaceField identifies one interface-typed field reachable from an
+// envelope: the struct type that declares it and the field name.
+type ifaceField struct {
+	owner types.Type // the struct's (possibly named) type
+	name  string
+	index int
+}
+
+// CheckProgram implements ProgramRule.
+func (r *GobRegister) CheckProgram(pkgs []*Package, report Reporter) {
+	registered := map[string]bool{}
+	hasRegistration := false
+	type envelope struct {
+		t   types.Type
+		pos token.Pos
+	}
+	var envelopes []envelope
+	seenEnv := map[string]bool{}
+
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				switch {
+				case isPkgFunc(fn, "encoding/gob", "Register") && len(call.Args) == 1:
+					hasRegistration = true
+					recordRegistered(registered, p.Info.Types[call.Args[0]].Type)
+				case isPkgFunc(fn, "encoding/gob", "RegisterName") && len(call.Args) == 2:
+					hasRegistration = true
+					recordRegistered(registered, p.Info.Types[call.Args[1]].Type)
+				case (isMethodOf(fn, "encoding/gob", "Encoder", "Encode") ||
+					isMethodOf(fn, "encoding/gob", "Decoder", "Decode")) && len(call.Args) == 1:
+					t := p.Info.Types[call.Args[0]].Type
+					for {
+						if ptr, ok := t.(*types.Pointer); ok {
+							t = ptr.Elem()
+							continue
+						}
+						break
+					}
+					if t == nil {
+						return true
+					}
+					if key := types.TypeString(t, nil); !seenEnv[key] {
+						seenEnv[key] = true
+						envelopes = append(envelopes, envelope{t: t, pos: call.Pos()})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Collect the interface-bearing struct fields reachable from any
+	// envelope.
+	fields := map[string]ifaceField{}     // key: ownerTypeString + "." + name
+	envWithIface := map[string][]string{} // envelope type string -> field keys
+	for _, env := range envelopes {
+		fs := ifaceFieldsOf(env.t)
+		if len(fs) == 0 {
+			continue
+		}
+		key := types.TypeString(env.t, nil)
+		for _, fr := range fs {
+			fk := types.TypeString(fr.owner, nil) + "." + fr.name
+			fields[fk] = fr
+			envWithIface[key] = append(envWithIface[key], fk)
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	// Find concrete values flowing into those fields and check each
+	// against the registered set.
+	assignChecked := map[string]bool{}
+	checkValue := func(p *Package, fk string, value ast.Expr) {
+		tv := p.Info.Types[value]
+		if tv.IsNil() || tv.Type == nil {
+			return
+		}
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			return // dynamic type unknown; nothing to check statically
+		}
+		assignChecked[fk] = true
+		if !isRegistered(registered, tv.Type) {
+			report(value.Pos(), "concrete type %s reaches gob-encoded interface field %s without a gob.Register call",
+				types.TypeString(tv.Type, nil), fk)
+		}
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					lt := p.Info.Types[n].Type
+					if lt == nil {
+						return true
+					}
+					if ptr, ok := lt.(*types.Pointer); ok {
+						lt = ptr.Elem()
+					}
+					st, ok := lt.Underlying().(*types.Struct)
+					if !ok {
+						return true
+					}
+					ltKey := types.TypeString(lt, nil)
+					for i, elt := range n.Elts {
+						var name string
+						var value ast.Expr
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							id, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							name, value = id.Name, kv.Value
+						} else if i < st.NumFields() {
+							name, value = st.Field(i).Name(), elt
+						} else {
+							continue
+						}
+						fk := ltKey + "." + name
+						if _, ok := fields[fk]; ok {
+							checkValue(p, fk, value)
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						selInfo, ok := p.Info.Selections[sel]
+						if !ok || selInfo.Kind() != types.FieldVal {
+							continue
+						}
+						recvT := selInfo.Recv()
+						if ptr, ok := recvT.(*types.Pointer); ok {
+							recvT = ptr.Elem()
+						}
+						fk := types.TypeString(recvT, nil) + "." + sel.Sel.Name
+						if _, ok := fields[fk]; ok {
+							checkValue(p, fk, n.Rhs[i])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Envelopes whose interface fields are fed from somewhere the walk
+	// cannot see: without a single gob.Register in the program they are
+	// certainly broken.
+	if !hasRegistration {
+		var keys []string
+		for k := range envWithIface {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			allUnseen := true
+			for _, fk := range envWithIface[k] {
+				if assignChecked[fk] {
+					allUnseen = false
+				}
+			}
+			if !allUnseen {
+				continue // per-assignment findings already cover it
+			}
+			for _, env := range envelopes {
+				if types.TypeString(env.t, nil) == k {
+					report(env.pos, "gob-encoded envelope %s reaches interface field(s) %s but the program never calls gob.Register",
+						k, strings.Join(envWithIface[k], ", "))
+					break
+				}
+			}
+		}
+	}
+}
+
+// recordRegistered notes t (and its pointer-elem spelling) as registered.
+func recordRegistered(registered map[string]bool, t types.Type) {
+	if t == nil {
+		return
+	}
+	registered[types.TypeString(t, nil)] = true
+	if ptr, ok := t.(*types.Pointer); ok {
+		registered[types.TypeString(ptr.Elem(), nil)] = true
+	}
+}
+
+// isRegistered accepts a concrete type registered directly or through
+// its pointer/value counterpart (gob resolves either spelling for
+// transmission).
+func isRegistered(registered map[string]bool, t types.Type) bool {
+	ts := types.TypeString(t, nil)
+	if registered[ts] || registered["*"+ts] {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		return registered[types.TypeString(ptr.Elem(), nil)]
+	}
+	return false
+}
+
+// ifaceFieldsOf walks t's exported field graph (structs, slices, arrays,
+// maps, pointers) and returns the interface-typed fields gob would have
+// to resolve with a registration. Type parameters are opaque and
+// skipped.
+func ifaceFieldsOf(t types.Type) []ifaceField {
+	var out []ifaceField
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if !f.Exported() {
+					continue // gob never encodes unexported fields
+				}
+				if _, ok := f.Type().Underlying().(*types.Interface); ok {
+					out = append(out, ifaceField{owner: t, name: f.Name(), index: i})
+					continue
+				}
+				walk(f.Type())
+			}
+		case *types.Slice:
+			walk(u.Elem())
+		case *types.Array:
+			walk(u.Elem())
+		case *types.Map:
+			walk(u.Key())
+			walk(u.Elem())
+		case *types.Pointer:
+			walk(u.Elem())
+		}
+	}
+	walk(t)
+	return out
+}

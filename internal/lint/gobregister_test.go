@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGobRegisterMissing(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Env struct {
+	Kind int
+	Body any
+}
+
+type Payload struct{ N int }
+
+func send() error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(Env{Kind: 1, Body: Payload{N: 2}})
+}
+`, NewGobRegister())
+	wantFindings(t, got, "16: gob-register: concrete type repro/internal/x.Payload reaches gob-encoded interface field repro/internal/x.Env.Body")
+}
+
+func TestGobRegisterPresentClean(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Env struct {
+	Body any
+}
+
+type Payload struct{ N int }
+
+func init() { gob.Register(Payload{}) }
+
+func send() error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(Env{Body: Payload{N: 2}})
+}
+`, NewGobRegister())
+	wantFindings(t, got)
+}
+
+func TestGobRegisterFieldAssignment(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Env struct {
+	Body any
+}
+
+type Payload struct{ N int }
+
+func send() error {
+	var e Env
+	e.Body = Payload{N: 2}
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(e)
+}
+`, NewGobRegister())
+	wantFindings(t, got, "15: gob-register: concrete type repro/internal/x.Payload reaches gob-encoded interface field repro/internal/x.Env.Body")
+}
+
+func TestGobRegisterPointerSpellingAccepted(t *testing.T) {
+	// gob resolves either the value or pointer spelling of a registered
+	// type for transmission; the check accepts both.
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Env struct {
+	Body any
+}
+
+type Payload struct{ N int }
+
+func init() { gob.Register(&Payload{}) }
+
+func send() error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(Env{Body: Payload{N: 2}})
+}
+`, NewGobRegister())
+	wantFindings(t, got)
+}
+
+func TestGobConcreteEnvelopeClean(t *testing.T) {
+	// Envelopes without interface fields (the runtime's comm.Message)
+	// need no registration.
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Msg struct {
+	From, To int
+	Payload  []byte
+}
+
+func send() error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Msg{From: 1}); err != nil {
+		return err
+	}
+	var m Msg
+	return gob.NewDecoder(&buf).Decode(&m)
+}
+`, NewGobRegister())
+	wantFindings(t, got)
+}
+
+func TestGobNoRegistrationAnywhere(t *testing.T) {
+	// Interface-bearing envelope whose values come from outside the
+	// analyzed code: with zero gob.Register calls in the program the
+	// encode site itself is certainly broken.
+	got := checkFixture(t, "repro/internal/x", `package x
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type Env struct {
+	Body any
+}
+
+func send(e Env) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(e)
+}
+`, NewGobRegister())
+	wantFindings(t, got, "13: gob-register: gob-encoded envelope repro/internal/x.Env reaches interface field(s) repro/internal/x.Env.Body but the program never calls gob.Register")
+}
+
+// TestGobRegisterRealCommMessageSet is the cross-package check against
+// the real transport: every type gob-encoded over comm.Transport
+// (comm.Message, the TCP hello frame, the matrix codecs feeding
+// Message.Payload) must survive the rule as deployed in CI.
+func TestGobRegisterRealCommMessageSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks half the repository; skipped in -short mode")
+	}
+	prog := loadRepo(t)
+	var pkgs []*Package
+	for _, p := range prog.Pkgs {
+		if strings.HasSuffix(p.Path, "internal/comm") ||
+			strings.HasSuffix(p.Path, "internal/matrix") ||
+			strings.HasSuffix(p.Path, "internal/core") ||
+			strings.HasSuffix(p.Path, "internal/checkpoint") {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if len(pkgs) < 3 {
+		t.Fatalf("expected to load comm, matrix and core; got %d packages", len(pkgs))
+	}
+	findings := NewRunner(prog.Fset, NewGobRegister()).Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIgnoreOnPrecedingLine(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(xs []int) {
+	for range xs {
+		//lint:ignore timer-leak one-shot per call in tests, bounded by len(xs)
+		<-time.After(time.Millisecond)
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got)
+}
+
+func TestIgnoreOnSameLine(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(xs []int) {
+	for range xs {
+		<-time.After(time.Millisecond) //lint:ignore timer-leak bounded by len(xs)
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got)
+}
+
+func TestIgnoreWrongRuleDoesNotSuppress(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(xs []int) {
+	for range xs {
+		//lint:ignore ctx-select not the right rule
+		<-time.After(time.Millisecond)
+	}
+}
+`, NewTimerLeak(), NewCtxSelect())
+	wantFindings(t, got, "7: timer-leak: time.After in a loop")
+}
+
+func TestIgnoreEmptyReasonRejected(t *testing.T) {
+	// A reasonless ignore is itself a finding AND does not suppress:
+	// suppressions must be auditable.
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(xs []int) {
+	for range xs {
+		//lint:ignore timer-leak
+		<-time.After(time.Millisecond)
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got,
+		"6: lint-ignore: ignore directive needs a reason",
+		"7: timer-leak: time.After in a loop",
+	)
+}
+
+func TestIgnoreUnknownRuleFlagged(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+
+func f() {
+	//lint:ignore no-such-rule some reason
+	_ = 1
+}
+`)
+	wantFindings(t, got, `4: lint-ignore: ignore directive names unknown rule "no-such-rule"`)
+}
+
+func TestIgnoreMultipleRules(t *testing.T) {
+	// A comma-separated rule list suppresses each named rule.
+	got := checkFixture(t, "repro/internal/core", `package core
+import (
+	"context"
+	"time"
+)
+
+func f(ctx context.Context, ch chan int) {
+	for {
+		//lint:ignore timer-leak,ctx-select fixture exercising multi-rule suppression
+		<-time.After(time.Millisecond)
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}
+}
+`, NewTimerLeak(), NewCtxSelect())
+	if len(got) != 0 {
+		t.Fatalf("expected no findings, got %v", got)
+	}
+}
+
+func TestFindingStringFormat(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f() <-chan time.Time {
+	return time.Tick(time.Second)
+}
+`, NewTimerLeak())
+	if len(got) != 1 || !strings.Contains(got[0], "timer-leak: time.Tick") {
+		t.Fatalf("unexpected findings %v", got)
+	}
+}

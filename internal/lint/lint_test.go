@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// loadRepo loads the whole repository once per test process and shares
+// the result: type-checking the module plus its stdlib dependencies from
+// source costs a few seconds, and several tests want the same program.
+var (
+	repoOnce sync.Once
+	repoProg *Program
+	repoErr  error
+)
+
+func loadRepo(t *testing.T) *Program {
+	t.Helper()
+	repoOnce.Do(func() {
+		repoProg, repoErr = Load(repoRoot(), "./...")
+	})
+	if repoErr != nil {
+		t.Fatalf("loading repository: %v", repoErr)
+	}
+	return repoProg
+}
+
+func repoRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+func TestLoadSinglePackage(t *testing.T) {
+	prog, err := Load(repoRoot(), "./internal/sched")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(prog.Pkgs))
+	}
+	p := prog.Pkgs[0]
+	if p.Path != "repro/internal/sched" || p.Name != "sched" {
+		t.Fatalf("loaded %q (%s), want repro/internal/sched (sched)", p.Path, p.Name)
+	}
+	if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatal("package missing type information or files")
+	}
+	if len(p.Pkg.Scope().Names()) == 0 {
+		t.Fatal("type-checked package has an empty scope")
+	}
+}
+
+func TestLoadRecursivePattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	prog := loadRepo(t)
+	want := []string{
+		"repro",
+		"repro/cmd/easyhps-vet",
+		"repro/internal/comm",
+		"repro/internal/core",
+		"repro/internal/lint",
+		"repro/internal/server",
+	}
+	for _, w := range want {
+		if prog.Package(w) == nil {
+			t.Errorf("pattern ./... did not load %s", w)
+		}
+	}
+}
+
+// TestRepositoryIsClean is the merge gate mirrored as a test: the full
+// rule set over the full repository must report nothing, exactly like
+// `easyhps-vet ./...` in scripts/ci.sh.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	prog := loadRepo(t)
+	findings := NewRunner(prog.Fset).Run(prog.Pkgs)
+	for _, f := range findings {
+		t.Errorf("repository violation: %s", f)
+	}
+}
+
+// TestKnownRuntimeViolationsAreSuppressed pins the audited escape
+// hatches: the bounded joins in runMaster and Manager.Shutdown and the
+// context-free compatibility entry points carry //lint:ignore directives
+// with reasons — if someone deletes the code, the directive, or the
+// reason, either this test or TestRepositoryIsClean moves.
+func TestKnownRuntimeViolationsAreSuppressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	prog := loadRepo(t)
+	var core, server []*Package
+	for _, p := range prog.Pkgs {
+		switch p.Path {
+		case "repro/internal/core":
+			core = append(core, p)
+		case "repro/internal/server":
+			server = append(server, p)
+		}
+	}
+	// Run the raw rules without suppression by checking the directives
+	// exist where the violations are.
+	dirs := collectDirectives(prog.Fset, append(core, server...))
+	wantRules := map[string]int{"ctx-select": 2, "naked-background": 3}
+	gotRules := map[string]int{}
+	for _, d := range dirs {
+		if d.reason == "" {
+			t.Errorf("directive at %s has no reason", d.pos)
+		}
+		for _, r := range d.rules {
+			gotRules[r]++
+		}
+	}
+	for rule, want := range wantRules {
+		if gotRules[rule] < want {
+			t.Errorf("expected at least %d //lint:ignore %s directives in core+server, found %d", want, rule, gotRules[rule])
+		}
+	}
+}

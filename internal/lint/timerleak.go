@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TimerLeak flags the classic leak of the overtime/fault-tolerance path:
+// time.After inside a for loop. Each iteration allocates a timer that is
+// not collected until it fires, so a tight watch loop (the shape of the
+// master and slave fault-tolerance threads) accumulates timers for the
+// whole TaskTimeout. The fix is a reused time.NewTimer/time.NewTicker
+// hoisted out of the loop, which is exactly how faultToleranceLoop and
+// computeBlock are written today — this rule keeps them that way.
+//
+// time.Tick is flagged unconditionally: its ticker can never be stopped.
+type TimerLeak struct{}
+
+// NewTimerLeak returns the rule.
+func NewTimerLeak() *TimerLeak { return &TimerLeak{} }
+
+func (*TimerLeak) Name() string { return "timer-leak" }
+func (*TimerLeak) Doc() string {
+	return "time.After in a loop (and time.Tick anywhere) leaks timers; reuse a Timer/Ticker"
+}
+
+// CheckPackage implements PackageRule.
+func (r *TimerLeak) CheckPackage(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			switch {
+			case isPkgFunc(fn, "time", "Tick"):
+				report(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and defer Stop")
+			case isPkgFunc(fn, "time", "After"):
+				if inLoop(stack) {
+					report(call.Pos(), "time.After in a loop allocates an uncollectable timer per iteration; hoist a time.NewTimer/time.NewTicker out of the loop")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inLoop reports whether the ancestor stack places the node inside a for
+// or range statement without an intervening function literal (a literal
+// body is a separate execution, typically a per-iteration goroutine that
+// uses the timer exactly once).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package lint
+
+import "testing"
+
+func TestTimerLeakAfterInLoop(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got, "9: timer-leak: time.After in a loop")
+}
+
+func TestTimerLeakAfterInRangeLoop(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(xs []int) {
+	for range xs {
+		<-time.After(time.Millisecond)
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got, "6: timer-leak: time.After in a loop")
+}
+
+func TestTimerLeakAfterOutsideLoopClean(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got)
+}
+
+func TestTimerLeakTickerInLoopClean(t *testing.T) {
+	// The repaired shape — a ticker hoisted out of the loop — is clean,
+	// as is a per-iteration goroutine that consumes one timer.
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f(done chan struct{}) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func g(work []func()) {
+	for range work {
+		go func() {
+			<-time.After(time.Second)
+		}()
+	}
+}
+`, NewTimerLeak())
+	wantFindings(t, got)
+}
+
+func TestTimerLeakTickAnywhere(t *testing.T) {
+	got := checkFixture(t, "repro/internal/x", `package x
+import "time"
+
+func f() <-chan time.Time {
+	return time.Tick(time.Second)
+}
+`, NewTimerLeak())
+	wantFindings(t, got, "5: timer-leak: time.Tick leaks its ticker")
+}

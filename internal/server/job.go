@@ -198,6 +198,14 @@ type Manager struct {
 	cfg ManagerConfig
 	reg *Registry
 
+	// rootCtx is the manager-lifetime context every job's run context
+	// derives from. Shutdown's forced phase cancels it, which reaches
+	// jobs that grab a run slot concurrently with the shutdown sweep —
+	// a per-job cancel loop over m.running would miss a job whose
+	// cancel func is registered after the loop snapshots the map.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
 	queue chan *Job
 	quit  chan struct{}
 	wg    sync.WaitGroup
@@ -217,14 +225,18 @@ func NewManager(cfg ManagerConfig, reg *Registry) *Manager {
 	if reg == nil {
 		reg = NewRegistry()
 	}
+	//lint:ignore naked-background manager-lifetime root context: jobs outlive any submit request by design; cancelled in Shutdown's forced phase
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		reg:     reg,
-		queue:   make(chan *Job, cfg.QueueDepth),
-		quit:    make(chan struct{}),
-		jobs:    make(map[string]*Job),
-		running: make(map[string]*Job),
-		metrics: newMetrics(),
+		cfg:        cfg,
+		reg:        reg,
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		jobs:       make(map[string]*Job),
+		running:    make(map[string]*Job),
+		metrics:    newMetrics(),
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
@@ -389,17 +401,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 
-	// Deadline passed with jobs still running: cancel their contexts and
-	// wait for the bounded unwind (one processor-level sub-task each).
-	m.mu.Lock()
-	for _, j := range m.running {
-		j.mu.Lock()
-		if cancel := j.cancel; cancel != nil {
-			cancel()
-		}
-		j.mu.Unlock()
-	}
-	m.mu.Unlock()
+	// Deadline passed with jobs still running: cancel the manager root
+	// context — every run context derives from it, including one a
+	// worker starts this instant — and wait for the bounded unwind
+	// (one processor-level sub-task per job).
+	m.rootCancel()
+	//lint:ignore ctx-select bounded join: rootCancel above stops every run within one in-flight sub-task; abandoning the workers would leak them
 	<-workers
 	return ctx.Err()
 }
@@ -426,7 +433,7 @@ func (m *Manager) worker() {
 // run executes one job through core.RunContext, translating the outcome
 // into the job state machine.
 func (m *Manager) run(j *Job) {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(m.rootCtx)
 	defer cancel()
 
 	j.mu.Lock()

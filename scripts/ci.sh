@@ -14,5 +14,9 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+# Project-specific invariants go vet cannot see (cancellable channel ops,
+# timer hygiene, locks across blocking ops, gob registration, detached
+# contexts) — see docs/ANALYSIS.md.
+go run ./cmd/easyhps-vet ./...
 go build ./...
 go test -race ./...
