@@ -1,22 +1,34 @@
 // Command easyhps-launch runs the EasyHPS master over real TCP: it listens
 // for easyhps-worker processes, schedules the DP problem across them, and
-// prints the result. Every worker must be started with identical -app, -n,
-// -seed, -proc and -thread flags so all ranks build the same problem.
+// prints the result.
 //
-// Example (three shells):
+// In fixed mode (-workers N) the run starts once exactly N ranks have
+// joined. The join handshake carries a problem-spec digest, so a worker
+// started with mismatched -app/-n/-seed/-proc/-thread flags is rejected
+// with a diagnostic instead of corrupting the run.
 //
-//	easyhps-launch -addr :9000 -workers 2 -app swgg -n 400
-//	easyhps-worker -addr 127.0.0.1:9000 -rank 1 -workers 2 -app swgg -n 400
-//	easyhps-worker -addr 127.0.0.1:9000 -rank 2 -workers 2 -app swgg -n 400
+// In elastic mode (-elastic) the master is a membership service instead of
+// a rendezvous: workers join and leave at any time, liveness is tracked by
+// heartbeats, a dead worker's tasks are reassigned, and -checkpoint makes
+// completed tasks survive a master restart (see docs/CLUSTER.md).
+//
+// Example (three shells, elastic):
+//
+//	easyhps-launch -elastic -addr :9000 -min-workers 2 -app swgg -n 400 -checkpoint run.ckpt
+//	easyhps-worker -elastic -addr 127.0.0.1:9000 -app swgg -n 400
+//	easyhps-worker -elastic -addr 127.0.0.1:9000 -app swgg -n 400
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -25,21 +37,62 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":9000", "listen address")
-		workers = flag.Int("workers", 2, "number of worker processes to wait for")
+		workers = flag.Int("workers", 2, "fixed mode: number of worker processes to wait for")
 		app     = flag.String("app", "swgg", "application (see easyhps-run)")
 		n       = flag.Int("n", 400, "matrix side length")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		proc    = flag.Int("proc", 0, "process_partition_size")
 		thread  = flag.Int("thread", 0, "thread_partition_size")
 		wait    = flag.Duration("wait", time.Minute, "how long to wait for workers")
+
+		elastic    = flag.Bool("elastic", false, "run an elastic cluster master (workers join/leave freely)")
+		minWorkers = flag.Int("min-workers", 1, "elastic: members required before scheduling starts")
+		hb         = flag.Duration("hb", 250*time.Millisecond, "elastic: heartbeat interval")
+		hbMiss     = flag.Int("hb-miss", 3, "elastic: silent heartbeat intervals before a member is declared dead")
+		ckpt       = flag.String("checkpoint", "", "elastic: checkpoint file (resumes from it when present)")
 	)
 	flag.Parse()
 
 	prob, report, err := cli.Build(*app, *n, *seed)
 	fatal(err)
 
+	spec := cluster.Spec{App: *app, N: *n, Seed: *seed}
+	if *proc > 0 {
+		spec.Proc = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		spec.Thread = dag.Square(*thread)
+	}
+
+	if *elastic {
+		m, err := cluster.NewMaster(prob, cluster.Options{
+			Addr:              *addr,
+			Spec:              spec,
+			MinWorkers:        *minWorkers,
+			HeartbeatInterval: *hb,
+			HeartbeatMiss:     *hbMiss,
+			JoinWindow:        *wait,
+			CheckpointPath:    *ckpt,
+			RunTimeout:        15 * time.Minute,
+		})
+		fatal(err)
+		fmt.Printf("elastic master on %s (spec %s); waiting for %d workers ...\n", m.Addr(), spec.Digest(), *minWorkers)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := m.Run(ctx)
+		if err != nil && *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "easyhps-launch: %v\nprogress is checkpointed in %s; rerun to resume\n", err, *ckpt)
+			os.Exit(1)
+		}
+		fatal(err)
+		fmt.Printf("done in %v\n", res.Stats.Elapsed.Round(time.Millisecond))
+		report(os.Stdout, res.Matrix())
+		fmt.Println(res.Stats)
+		return
+	}
+
 	fmt.Printf("waiting for %d workers on %s ...\n", *workers, *addr)
-	tr, err := comm.ListenMaster(*addr, *workers, *wait)
+	tr, err := comm.ListenMasterOpts(*addr, *workers, *wait, comm.TCPOptions{Digest: spec.Digest()})
 	fatal(err)
 	defer tr.Close()
 	fmt.Println("cluster assembled; scheduling", prob.Name)

@@ -1,16 +1,27 @@
 // Command easyhps-worker runs one EasyHPS slave node as a separate OS
-// process, connecting to an easyhps-launch master over TCP. The -app, -n,
-// -seed, -proc and -thread flags must match the master's so every rank
-// builds the same problem.
+// process, connecting to an easyhps-launch master over TCP.
+//
+// In fixed mode the -app, -n, -seed, -proc and -thread flags must match
+// the master's; the join handshake carries a digest of them, so a
+// mismatch is rejected at connect time with a diagnostic naming both
+// sides.
+//
+// In elastic mode (-elastic, no -rank needed) the worker joins the
+// master's membership service whenever it starts — including mid-run —
+// heartbeats while alive, and departs gracefully on Ctrl-C so its
+// in-flight work is reassigned immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -19,8 +30,8 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9000", "master address")
-		rank    = flag.Int("rank", 1, "this worker's rank (1-based)")
-		workers = flag.Int("workers", 2, "total number of workers in the cluster")
+		rank    = flag.Int("rank", 1, "fixed mode: this worker's rank (1-based)")
+		workers = flag.Int("workers", 2, "fixed mode: total number of workers in the cluster")
 		app     = flag.String("app", "swgg", "application (must match the master)")
 		n       = flag.Int("n", 400, "matrix side length (must match)")
 		seed    = flag.Int64("seed", 1, "workload seed (must match)")
@@ -28,13 +39,48 @@ func main() {
 		thread  = flag.Int("thread", 0, "thread_partition_size")
 		threads = flag.Int("threads", 4, "compute goroutines on this worker")
 		wait    = flag.Duration("wait", time.Minute, "how long to keep dialing the master")
+
+		elastic = flag.Bool("elastic", false, "join an elastic cluster master (ignores -rank/-workers)")
+		name    = flag.String("name", "", "elastic: member name in the master's logs and metrics")
+		hb      = flag.Duration("hb", 250*time.Millisecond, "elastic: heartbeat interval (must match the master)")
+		hbMiss  = flag.Int("hb-miss", 3, "elastic: silent intervals before giving the master up for dead")
 	)
 	flag.Parse()
 
 	prob, _, err := cli.Build(*app, *n, *seed)
 	fatal(err)
 
-	tr, err := comm.DialWorker(*addr, *rank, *workers, *wait)
+	spec := cluster.Spec{App: *app, N: *n, Seed: *seed}
+	if *proc > 0 {
+		spec.Proc = dag.Square(*proc)
+	}
+	if *thread > 0 {
+		spec.Thread = dag.Square(*thread)
+	}
+
+	if *elastic {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		fmt.Printf("joining elastic cluster at %s (spec %s) with %d threads\n", *addr, spec.Digest(), *threads)
+		err := cluster.RunWorker(ctx, prob, cluster.WorkerOptions{
+			Addr:              *addr,
+			Spec:              spec,
+			Name:              *name,
+			HeartbeatInterval: *hb,
+			HeartbeatMiss:     *hbMiss,
+			DialTimeout:       *wait,
+			Run:               core.Config{Threads: *threads},
+		})
+		if err == context.Canceled {
+			fmt.Println("worker left the cluster")
+			return
+		}
+		fatal(err)
+		fmt.Println("worker done")
+		return
+	}
+
+	tr, err := comm.DialWorkerOpts(*addr, *rank, *workers, *wait, comm.TCPOptions{Digest: spec.Digest()})
 	fatal(err)
 	defer tr.Close()
 

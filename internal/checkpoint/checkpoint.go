@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -88,17 +89,54 @@ var ErrCorrupt = errors.New("checkpoint: corrupt record")
 // corrupt record all terminate the replay without error — resuming from a
 // prefix is always safe; only fn's own errors propagate.
 func Replay(r io.Reader, fn func(vertex int32, payload []byte) error) (int, error) {
-	n := 0
+	n, _, err := ReplayOffset(r, fn)
+	return n, err
+}
+
+// ReplayOffset is Replay reporting, additionally, the byte offset of the
+// end of the last intact record — the clean prefix length. A writer that
+// wants to continue an interrupted stream in place must truncate the file
+// there first: appending after a torn tail would leave the new records
+// unreachable (every replay stops at the first corrupt record).
+func ReplayOffset(r io.Reader, fn func(vertex int32, payload []byte) error) (int, int64, error) {
+	n, off := 0, int64(0)
 	for {
 		vertex, payload, err := readRecord(r)
 		if err != nil {
-			return n, nil // EOF, torn tail, or corruption: stop here
+			return n, off, nil // EOF, torn tail, or corruption: stop here
 		}
 		if err := fn(vertex, payload); err != nil {
-			return n, err
+			return n, off, err
 		}
 		n++
+		off += int64(12 + len(payload) + 4)
 	}
+}
+
+// OpenAppend resumes the checkpoint stream at path for a restarted
+// master: it replays the intact prefix through fn, truncates any torn or
+// corrupt tail (the typical crash artifact), and returns a Writer that
+// appends new records after the clean prefix. A missing file starts an
+// empty stream. The caller owns closing the file.
+func OpenAppend(path string, fn func(vertex int32, payload []byte) error) (*Writer, *os.File, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("checkpoint: opening %s: %w", path, err)
+	}
+	n, clean, err := ReplayOffset(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	if err := f.Truncate(clean); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("checkpoint: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return NewWriter(f), f, n, nil
 }
 
 func readRecord(r io.Reader) (int32, []byte, error) {

@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// OpenAppend must replay the intact prefix, truncate a torn tail, and
+// leave the file appendable so new records join the same replayable
+// stream — the master-restart sequence.
+func TestOpenAppendTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for v := int32(0); v < 4; v++ {
+		if err := w.Append(v, []byte(fmt.Sprintf("payload-%d", v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	// A crash mid-write leaves a torn final record: cut 3 bytes off.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []int32
+	cw, f, n, err := OpenAppend(path, func(v int32, p []byte) error {
+		replayed = append(replayed, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(replayed) != 3 {
+		t.Fatalf("replayed %d records (%v), want 3", n, replayed)
+	}
+	// Continue the stream past the truncation point.
+	if err := cw.Append(3, []byte("payload-3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Append(4, []byte("payload-4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole file must now replay as one clean 5-record stream.
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var got []int32
+	total, err := Replay(g, func(v int32, p []byte) error {
+		if want := fmt.Sprintf("payload-%d", v); string(p) != want {
+			t.Fatalf("payload for %d = %q, want %q", v, p, want)
+		}
+		got = append(got, v)
+		return nil
+	})
+	if err != nil || total != 5 {
+		t.Fatalf("Replay after append = %d, %v (%v)", total, err, got)
+	}
+	for k, v := range got {
+		if v != int32(k) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+// A missing file is an empty stream, not an error.
+func TestOpenAppendMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ckpt")
+	cw, f, n, err := OpenAppend(path, func(int32, []byte) error {
+		t.Fatal("replay callback on empty stream")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("OpenAppend(missing) = %d, %v", n, err)
+	}
+	if err := cw.Append(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, _ := os.Open(path)
+	defer g.Close()
+	total, err := Replay(g, func(int32, []byte) error { return nil })
+	if err != nil || total != 1 {
+		t.Fatalf("Replay = %d, %v", total, err)
+	}
+}
+
+// ReplayOffset's clean offset must land exactly on record boundaries for
+// every tear point.
+func TestReplayOffsetBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	sizes := []int{0, 1, 100}
+	bounds := []int64{0}
+	for v, sz := range sizes {
+		if err := w.Append(int32(v), bytes.Repeat([]byte{byte(v)}, sz)); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(12+sz+4))
+	}
+	data := buf.Bytes()
+	for cut := 0; cut <= len(data); cut++ {
+		n, off, err := ReplayOffset(bytes.NewReader(data[:cut]), func(int32, []byte) error { return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if off != bounds[n] {
+			t.Fatalf("cut %d: %d records but offset %d, want %d", cut, n, off, bounds[n])
+		}
+		if off > int64(cut) {
+			t.Fatalf("cut %d: clean offset %d beyond data", cut, off)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkElasticRecovery measures the cost of elasticity: the "healthy"
+// case is a full 4-worker run with heartbeats on (the steady-state
+// overhead of the membership layer), and "kill-1-of-4" is the same run
+// with one worker killed a few vertices in — the delta is the
+// time-to-recover (detect the death, revoke the leases, recompute the
+// lost vertices elsewhere).
+func BenchmarkElasticRecovery(b *testing.B) {
+	run := func(b *testing.B, kill bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prob, _, spec := testProblem(b)
+			opts := testOptions(spec, 4)
+			killAt := make(chan struct{})
+			if kill {
+				opts.OnProgress = progressTrigger(8, killAt)
+			}
+			m, err := cluster.NewMaster(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 100*time.Microsecond))
+			if kill {
+				go func() {
+					<-killAt
+					h.Kill(0)
+				}()
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			resCh := make(chan error, 1)
+			b.StartTimer()
+			go func() {
+				_, err := m.Run(ctx)
+				resCh <- err
+			}()
+			for w := 0; w < 4; w++ {
+				if _, err := h.Add(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-resCh; err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			h.Close()
+			cancel()
+			b.StartTimer()
+		}
+	}
+	b.Run("healthy", func(b *testing.B) { run(b, false) })
+	b.Run("kill-1-of-4", func(b *testing.B) { run(b, true) })
+}

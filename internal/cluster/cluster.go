@@ -1,0 +1,179 @@
+// Package cluster is the elastic control plane for the process level of
+// the EasyHPS runtime. Where the fixed master–slave deployment
+// (comm.ListenMaster + core.RunMaster) needs exactly -workers ranks with
+// hand-matched flags and can only paper over a dead worker with timeout
+// resends, this package runs the master as a long-lived membership
+// service:
+//
+//   - workers join at any time over the TCP transport with a handshake
+//     carrying the protocol version and a problem-spec digest, and are
+//     admitted as members with monotonically increasing incarnations;
+//   - liveness is tracked by heartbeats (worker → master, echoed back);
+//     a member that misses HeartbeatMiss intervals, or whose connection
+//     fails, is declared dead;
+//   - every dispatched DAG vertex holds a lease bound to the member's
+//     incarnation; when the member dies or leaves, its leases are
+//     revoked and the vertices reassigned to live workers, sharing the
+//     register-table/overtime machinery of internal/sched with the
+//     timeout path;
+//   - completed vertices stream to an internal/checkpoint file, so a
+//     restarted master resumes from the clean prefix and rejoining
+//     workers never recompute finished work.
+//
+// See docs/CLUSTER.md for the membership state machine and the lease
+// lifecycle.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// Spec identifies the problem a cluster is solving. Master and workers
+// each build their Problem locally from flags; the digest of this struct
+// travels in the join handshake so a worker built from different flags is
+// refused at admission instead of corrupting the run.
+type Spec struct {
+	// App names the application (the internal/cli registry).
+	App string
+	// N is the matrix side length.
+	N int
+	// Seed is the workload seed.
+	Seed int64
+	// Proc is process_partition_size; zero means the runtime default,
+	// which both sides derive identically from N.
+	Proc dag.Size
+	// Thread is thread_partition_size (worker-local, but part of the
+	// spec so a run is fully described by it).
+	Thread dag.Size
+}
+
+// Digest fingerprints the spec for the join handshake.
+func (s Spec) Digest() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("easyhps-spec:1:%s:%d:%d:%dx%d:%dx%d",
+		s.App, s.N, s.Seed, s.Proc.Rows, s.Proc.Cols, s.Thread.Rows, s.Thread.Cols)))
+	return hex.EncodeToString(h[:12])
+}
+
+// Options configures an elastic master.
+type Options struct {
+	// Addr is the listen address (host:port; :0 picks a free port,
+	// readable from Master.Addr).
+	Addr string
+	// Spec is the problem identity enforced at admission. The zero Spec
+	// disables the digest check.
+	Spec Spec
+	// MinWorkers blocks scheduling until this many members are admitted
+	// (default 1). Scheduling starts as soon as the quorum exists;
+	// further workers are admitted mid-run.
+	MinWorkers int
+	// HeartbeatInterval is the worker beacon period (default 250 ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many silent intervals declare a member dead
+	// (default 3). One silent interval marks it suspect.
+	HeartbeatMiss int
+	// TaskTimeout is the per-vertex overtime bound; a leased vertex not
+	// finished within it is redistributed even if its member still
+	// heartbeats (default 30 s).
+	TaskTimeout time.Duration
+	// CheckInterval is the control-loop tick (default HeartbeatInterval).
+	CheckInterval time.Duration
+	// MaxAttempts bounds overtime redistributions per vertex before the
+	// run aborts (default 4). Revocations caused by member death do not
+	// count — an elastic cluster must survive any number of worker
+	// failures as long as capacity remains.
+	MaxAttempts int
+	// RunTimeout aborts the run when exceeded (0 disables).
+	RunTimeout time.Duration
+	// JoinWindow bounds how long Run waits for the MinWorkers quorum
+	// (default 1 minute).
+	JoinWindow time.Duration
+	// CheckpointPath, when non-empty, persists completed vertices to
+	// this file and resumes from its clean prefix on start.
+	CheckpointPath string
+	// Trace optionally records scheduling and membership events.
+	Trace *trace.Recorder
+	// OnProgress, when non-nil, is called after restore and after every
+	// completed vertex with (completed, total). It runs on the master's
+	// receive loop, so it must be fast and must not block.
+	OnProgress func(completed, total int)
+}
+
+// withDefaults fills the defaulted fields.
+func (o Options) withDefaults() Options {
+	if o.MinWorkers < 1 {
+		o.MinWorkers = 1
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatMiss < 1 {
+		o.HeartbeatMiss = 3
+	}
+	if o.TaskTimeout <= 0 {
+		o.TaskTimeout = 30 * time.Second
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.HeartbeatInterval
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 4
+	}
+	if o.JoinWindow <= 0 {
+		o.JoinWindow = time.Minute
+	}
+	return o
+}
+
+// Stats aggregates what happened during an elastic run.
+type Stats struct {
+	// Tasks is the number of vertices completed by workers this run
+	// (restored vertices excluded).
+	Tasks int64
+	// Dispatches counts task sends (>= Tasks under redistribution).
+	Dispatches int64
+	// Redistributions counts overtime-triggered reassignments.
+	Redistributions int64
+	// Restored counts vertices recovered from the checkpoint.
+	Restored int64
+	// StaleResults counts dropped results of superseded attempts
+	// (late answers from slow, partitioned or dead-declared members).
+	StaleResults int64
+	// Joins, Leaves and Deaths count membership transitions.
+	Joins, Leaves, Deaths int64
+	// LeasesRevoked counts leases revoked by death or leave; Reassigned
+	// counts the vertices put back on the ready stack because of it.
+	LeasesRevoked, Reassigned int64
+	// Elapsed is the wall-clock makespan of Run.
+	Elapsed time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d dispatches=%d redist=%d restored=%d stale=%d joins=%d leaves=%d deaths=%d revoked=%d reassigned=%d elapsed=%v",
+		s.Tasks, s.Dispatches, s.Redistributions, s.Restored, s.StaleResults,
+		s.Joins, s.Leaves, s.Deaths, s.LeasesRevoked, s.Reassigned, s.Elapsed)
+}
+
+// Result of an elastic run: the completed blocked matrix plus statistics.
+type Result[T any] struct {
+	Store matrix.BlockStore[T]
+	Stats Stats
+}
+
+// Matrix assembles the result into a dense matrix.
+func (r *Result[T]) Matrix() [][]T { return r.Store.Assemble() }
+
+// Snapshot is the monitoring view of a cluster, exposed through the job
+// service's /metrics endpoint (see server.Manager.SetClusterStats).
+type Snapshot struct {
+	// States counts current members by state name.
+	States map[string]int
+	// Joins, Leaves, Deaths, LeasesRevoked mirror Stats, cumulatively.
+	Joins, Leaves, Deaths, LeasesRevoked int64
+}

@@ -1,0 +1,334 @@
+package cluster_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dp"
+	"repro/internal/trace"
+)
+
+// testProblem is an edit-distance instance partitioned into an 8x8 grid
+// of processor-level vertices: large enough that faults land mid-run,
+// small enough for the race detector.
+func testProblem(t testing.TB) (core.Problem[int32], [][]int32, cluster.Spec) {
+	t.Helper()
+	e := dp.NewEditDistance(dp.RandomDNA(64, 51), dp.RandomDNA(64, 52))
+	spec := cluster.Spec{App: "editdist", N: 64, Seed: 51, Proc: dag.Square(8), Thread: dag.Square(4)}
+	return e.Problem(), e.Sequential(), spec
+}
+
+func testOptions(spec cluster.Spec, minWorkers int) cluster.Options {
+	return cluster.Options{
+		Addr:              "127.0.0.1:0",
+		Spec:              spec,
+		MinWorkers:        minWorkers,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMiss:     3,
+		TaskTimeout:       20 * time.Second,
+		RunTimeout:        2 * time.Minute,
+		JoinWindow:        30 * time.Second,
+	}
+}
+
+func testWorkerOptions(spec cluster.Spec, workPerCell time.Duration) cluster.WorkerOptions {
+	return cluster.WorkerOptions{
+		Spec:              spec,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMiss:     3,
+		DialTimeout:       10 * time.Second,
+		Run: core.Config{
+			Threads:          2,
+			WorkDelayPerCell: workPerCell,
+		},
+	}
+}
+
+func equalMatrices(t *testing.T, label string, got, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d has %d cols, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: [%d][%d] = %d, want %d", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// progressTrigger returns an OnProgress hook that closes ch (once) when
+// completion reaches threshold, so a test goroutine with proper
+// happens-before edges can react off the master's receive loop.
+func progressTrigger(threshold int, ch chan<- struct{}) func(done, total int) {
+	var once sync.Once
+	return func(done, total int) {
+		if done >= threshold {
+			once.Do(func() { close(ch) })
+		}
+	}
+}
+
+// Killing one of four workers mid-run must not affect the result: the
+// dead member's leases are revoked and its vertices recomputed elsewhere.
+func TestElasticKillWorker(t *testing.T) {
+	prob, want, spec := testProblem(t)
+	opts := testOptions(spec, 4)
+	killAt := make(chan struct{})
+	opts.OnProgress = progressTrigger(5, killAt)
+
+	m, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 200*time.Microsecond))
+	defer h.Close()
+	go func() {
+		<-killAt
+		h.Kill(0)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		res *cluster.Result[int32]
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := m.Run(ctx)
+		resCh <- outcome{res, err}
+	}()
+	for i := 0; i < 4; i++ {
+		if _, err := h.Add(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	equalMatrices(t, "kill-worker", out.res.Matrix(), want)
+	if out.res.Stats.Deaths != 1 {
+		t.Fatalf("deaths = %d, want 1", out.res.Stats.Deaths)
+	}
+	if out.res.Stats.Tasks != 64 {
+		t.Fatalf("tasks = %d, want 64", out.res.Stats.Tasks)
+	}
+	if err := h.Err(0); err == nil {
+		t.Fatal("killed worker exited cleanly")
+	}
+}
+
+// A worker joining mid-run must be admitted and pull computable vertices.
+func TestElasticJoinMidRun(t *testing.T) {
+	prob, want, spec := testProblem(t)
+	opts := testOptions(spec, 1)
+	tr := trace.New()
+	opts.Trace = tr
+
+	joinAt := make(chan struct{})
+	opts.OnProgress = progressTrigger(3, joinAt)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 200*time.Microsecond))
+	defer h.Close()
+	go func() {
+		<-joinAt
+		if _, err := h.Add(ctx); err != nil {
+			t.Errorf("mid-run join: %v", err)
+		}
+	}()
+
+	if _, err := h.Add(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.Slow(0, 5*time.Millisecond) // keep the run alive for the joiner
+
+	res, err := m.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMatrices(t, "join-mid-run", res.Matrix(), want)
+	if res.Stats.Joins != 2 {
+		t.Fatalf("joins = %d, want 2", res.Stats.Joins)
+	}
+	members := m.Registry().Members()
+	if len(members) != 2 {
+		t.Fatalf("members = %d, want 2", len(members))
+	}
+	if members[1].Completed == 0 {
+		t.Fatal("mid-run joiner computed no vertices")
+	}
+	// The join must be visible to tracing.
+	joins := 0
+	for _, e := range tr.MemberEvents() {
+		if e.Label == "active" {
+			joins++
+		}
+	}
+	if joins < 2 {
+		t.Fatalf("trace shows %d activations, want >= 2", joins)
+	}
+}
+
+// A master killed mid-run must resume from its checkpoint: restored
+// vertices are not recomputed and the result is still correct.
+func TestMasterRestartFromCheckpoint(t *testing.T) {
+	prob, want, spec := testProblem(t)
+	ckpt := t.TempDir() + "/run.ckpt"
+
+	opts := testOptions(spec, 2)
+	opts.CheckpointPath = ckpt
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	stopAt := make(chan struct{})
+	opts.OnProgress = progressTrigger(20, stopAt)
+	go func() {
+		<-stopAt
+		cancel1()
+	}()
+
+	m1, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := cluster.NewHarness(prob, m1.Addr(), testWorkerOptions(spec, 500*time.Microsecond))
+	go func() {
+		for i := 0; i < 2; i++ {
+			if _, err := h1.Add(ctx1); err != nil {
+				t.Errorf("phase-1 worker: %v", err)
+			}
+		}
+	}()
+	if _, err := m1.Run(ctx1); err == nil {
+		t.Fatal("cancelled master reported success")
+	}
+	cancel1()
+	h1.Close()
+
+	// Second incarnation, same checkpoint path.
+	opts = testOptions(spec, 2)
+	opts.CheckpointPath = ckpt
+	m2, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := cluster.NewHarness(prob, m2.Addr(), testWorkerOptions(spec, 0))
+	defer h2.Close()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go func() {
+		for i := 0; i < 2; i++ {
+			if _, err := h2.Add(ctx2); err != nil {
+				t.Errorf("phase-2 worker: %v", err)
+			}
+		}
+	}()
+	res, err := m2.Run(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMatrices(t, "restart", res.Matrix(), want)
+	if res.Stats.Restored < 20 {
+		t.Fatalf("restored = %d, want >= 20 (phase 1 completed at least that many)", res.Stats.Restored)
+	}
+	if res.Stats.Restored+res.Stats.Tasks != 64 {
+		t.Fatalf("restored %d + tasks %d != 64: completed vertices were recomputed",
+			res.Stats.Restored, res.Stats.Tasks)
+	}
+}
+
+// A partitioned link (TCP open, no bytes flowing) must be detected by the
+// heartbeat deadline and the member's work reassigned.
+func TestPartitionedMemberDeclaredDead(t *testing.T) {
+	prob, want, spec := testProblem(t)
+	opts := testOptions(spec, 3)
+
+	cutAt := make(chan struct{})
+	opts.OnProgress = progressTrigger(5, cutAt)
+	m, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 300*time.Microsecond))
+	defer h.Close()
+	go func() {
+		<-cutAt
+		h.Partition(0)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := h.Add(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalMatrices(t, "partition", res.Matrix(), want)
+	if res.Stats.Deaths != 1 {
+		t.Fatalf("deaths = %d, want 1 (partitioned member)", res.Stats.Deaths)
+	}
+}
+
+// A worker whose flags produce a different problem spec must be refused
+// at admission, and the cluster must keep working afterwards.
+func TestClusterRejectsSpecMismatch(t *testing.T) {
+	prob, want, spec := testProblem(t)
+	opts := testOptions(spec, 1)
+	m, err := cluster.NewMaster(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		res *cluster.Result[int32]
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := m.Run(ctx)
+		resCh <- outcome{res, err}
+	}()
+
+	badSpec := spec
+	badSpec.Seed = 99
+	wopts := testWorkerOptions(badSpec, 0)
+	wopts.Addr = m.Addr()
+	err = cluster.RunWorker(ctx, prob, wopts)
+	if err == nil || !strings.Contains(err.Error(), "problem spec mismatch") {
+		t.Fatalf("mismatched worker error = %v, want spec-mismatch rejection", err)
+	}
+
+	h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 0))
+	defer h.Close()
+	if _, err := h.Add(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	equalMatrices(t, "after-rejection", out.res.Matrix(), want)
+	if out.res.Stats.Joins != 1 {
+		t.Fatalf("joins = %d, want 1 (the rejected worker must not count)", out.res.Stats.Joins)
+	}
+}

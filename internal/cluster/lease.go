@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Lease binds one dispatched DAG vertex to one member incarnation for one
+// attempt. It is the unit of work-loss accounting: when the member dies
+// or leaves, every lease it holds is revoked and the vertices go back on
+// the ready stack. Timeout expiry (the overtime queue) and result
+// acceptance (the register table) release leases individually.
+type Lease struct {
+	Vertex  int32
+	Member  int
+	Attempt int32
+	Granted time.Time
+}
+
+// leaseTable indexes live leases by vertex and by member.
+type leaseTable struct {
+	mu       sync.Mutex
+	byVertex map[int32]Lease
+	byMember map[int]map[int32]struct{}
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{
+		byVertex: make(map[int32]Lease),
+		byMember: make(map[int]map[int32]struct{}),
+	}
+}
+
+// grant records a lease for vertex v held by member with the given
+// attempt, superseding any prior lease on v (a redistribution).
+func (t *leaseTable) grant(v int32, member int, attempt int32) {
+	t.mu.Lock()
+	if old, ok := t.byVertex[v]; ok {
+		if set := t.byMember[old.Member]; set != nil {
+			delete(set, v)
+		}
+	}
+	t.byVertex[v] = Lease{Vertex: v, Member: member, Attempt: attempt, Granted: time.Now()}
+	set := t.byMember[member]
+	if set == nil {
+		set = make(map[int32]struct{})
+		t.byMember[member] = set
+	}
+	set[v] = struct{}{}
+	t.mu.Unlock()
+}
+
+// release drops the lease on vertex v (result accepted, or overtime
+// expiry superseding it) and returns it.
+func (t *leaseTable) release(v int32) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.byVertex[v]
+	if !ok {
+		return Lease{}, false
+	}
+	delete(t.byVertex, v)
+	if set := t.byMember[l.Member]; set != nil {
+		delete(set, v)
+	}
+	return l, true
+}
+
+// revokeMember drops every lease held by member and returns them — the
+// vertices the master must reassign.
+func (t *leaseTable) revokeMember(member int) []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := t.byMember[member]
+	if len(set) == 0 {
+		delete(t.byMember, member)
+		return nil
+	}
+	out := make([]Lease, 0, len(set))
+	for v := range set {
+		out = append(out, t.byVertex[v])
+		delete(t.byVertex, v)
+	}
+	delete(t.byMember, member)
+	return out
+}
+
+// holder reports the live lease on vertex v, if any.
+func (t *leaseTable) holder(v int32) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.byVertex[v]
+	return l, ok
+}
+
+// len returns the number of live leases.
+func (t *leaseTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byVertex)
+}

@@ -1,0 +1,642 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// Master is the elastic counterpart of core.RunMaster: it owns the
+// processor-level DAG and block store like the fixed master, but its
+// worker set is a live membership table instead of a rank range — workers
+// join, leave and die at any time while the DAG keeps draining.
+//
+// Work tracking is layered over the same internal/sched machinery the
+// fixed master uses: the register table makes result acceptance
+// idempotent per attempt, the overtime queue redistributes slow vertices,
+// and on top of both the lease table binds every in-flight vertex to a
+// member incarnation so that member death revokes and reassigns exactly
+// the vertices that died with it — without waiting for their timeouts.
+type Master[T any] struct {
+	p      core.Problem[T]
+	opts   Options
+	digest string
+
+	ln     net.Listener
+	geom   dag.Geometry
+	graph  *dag.Graph
+	parser *dag.Parser
+	store  matrix.BlockStore[T]
+	rt     *sched.RegisterTable
+	ot     *sched.OvertimeQueue
+	disp   sched.Dispatcher
+	leases *leaseTable
+	reg    *Registry
+
+	ckpt     *checkpoint.Writer
+	ckptFile *os.File
+
+	inbox chan event
+
+	connMu sync.Mutex
+	conns  map[int]*memberConn
+
+	quorum     chan struct{}
+	quorumOnce sync.Once
+
+	done     chan struct{}
+	doneOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+
+	ran                                 atomic.Bool
+	tasks, dispatches, redist, restored atomic.Int64
+	stale                               atomic.Int64
+}
+
+// event is one unit of the master's serialized input: a message from a
+// member, or a connection-failure notice from its pump.
+type event struct {
+	member int
+	msg    comm.Message
+	down   bool
+	err    error
+}
+
+// memberConn is the master-side endpoint of one member.
+type memberConn struct {
+	id       int
+	cn       *comm.Conn
+	idle     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func (mc *memberConn) close() {
+	mc.stopOnce.Do(func() {
+		close(mc.stop)
+		mc.cn.Close()
+	})
+}
+
+// NewMaster builds the elastic master for problem p and starts listening
+// on opts.Addr (use Addr to learn the bound address). Scheduling does not
+// start until Run.
+func NewMaster[T any](p core.Problem[T], opts Options) (*Master[T], error) {
+	opts = opts.withDefaults()
+	if p.Kernel == nil {
+		return nil, fmt.Errorf("cluster: problem %q has no kernel", p.Name)
+	}
+	if p.Codec == nil {
+		return nil, fmt.Errorf("cluster: problem %q has no codec", p.Name)
+	}
+	if !p.Size.Valid() {
+		return nil, fmt.Errorf("cluster: invalid problem size %v", p.Size)
+	}
+	proc := opts.Spec.Proc
+	if !proc.Valid() {
+		// The same default rule core.Config applies, so master and
+		// workers derive identical geometries from an unset partition.
+		proc = dag.Size{Rows: (p.Size.Rows + 7) / 8, Cols: (p.Size.Cols + 7) / 8}
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	geom := dag.MatrixGeometry(p.Size, proc)
+	graph := dag.Build(p.Kernel.Pattern(), geom)
+	m := &Master[T]{
+		p:      p,
+		opts:   opts,
+		digest: opts.Spec.Digest(),
+		ln:     ln,
+		geom:   geom,
+		graph:  graph,
+		parser: dag.NewParser(graph),
+		store:  matrix.NewStore[T](geom),
+		rt:     sched.NewRegisterTable(),
+		ot:     sched.NewOvertimeQueue(),
+		disp:   sched.NewDynamic(),
+		leases: newLeaseTable(),
+		reg:    NewRegistry(opts.Trace),
+		inbox:  make(chan event, 256),
+		conns:  make(map[int]*memberConn),
+		quorum: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if opts.Spec == (Spec{}) {
+		m.digest = "" // zero spec disables the admission digest check
+	}
+	return m, nil
+}
+
+// Addr returns the address the master listens on.
+func (m *Master[T]) Addr() string { return m.ln.Addr().String() }
+
+// Registry exposes the membership table (metrics, tests, the job
+// service's /metrics exposition).
+func (m *Master[T]) Registry() *Registry { return m.reg }
+
+// finish ends the run exactly once, recording err (nil for success).
+func (m *Master[T]) finish(err error) {
+	m.doneOnce.Do(func() {
+		m.errMu.Lock()
+		m.err = err
+		m.errMu.Unlock()
+		close(m.done)
+		m.disp.Close()
+	})
+}
+
+// Run executes the run to completion: restore the checkpoint prefix,
+// wait for the MinWorkers quorum, then schedule until the DAG drains.
+// Cancelling ctx finishes the run with ctx's error; completed vertices
+// are already persisted, so a later master resumes where this one
+// stopped. Run may be called once per Master.
+func (m *Master[T]) Run(ctx context.Context) (*Result[T], error) {
+	if !m.ran.CompareAndSwap(false, true) {
+		return nil, errors.New("cluster: Run called twice")
+	}
+	start := time.Now()
+	defer m.teardown()
+
+	if err := m.restore(); err != nil {
+		m.finish(err)
+		return nil, err
+	}
+
+	if cancel := ctx.Done(); cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				m.finish(ctx.Err())
+			case <-m.done:
+			}
+		}()
+	}
+	if m.opts.RunTimeout > 0 {
+		timer := time.AfterFunc(m.opts.RunTimeout, func() {
+			m.finish(fmt.Errorf("cluster: run exceeded RunTimeout %v with %d vertices remaining", m.opts.RunTimeout, m.parser.Remaining()))
+		})
+		defer timer.Stop()
+	}
+
+	go m.acceptLoop()
+
+	var helpers sync.WaitGroup
+	helpers.Add(1)
+	go func() {
+		defer helpers.Done()
+		m.controlLoop()
+	}()
+
+	// The restore may have completed the whole DAG; otherwise wait for
+	// the quorum before counting on progress.
+	if !m.finished() {
+		joinTimer := time.NewTimer(m.opts.JoinWindow)
+		select {
+		case <-m.quorum:
+			joinTimer.Stop()
+		case <-joinTimer.C:
+			m.finish(fmt.Errorf("cluster: %d workers did not join within %v", m.opts.MinWorkers, m.opts.JoinWindow))
+		case <-ctx.Done():
+			joinTimer.Stop()
+			m.finish(ctx.Err())
+		case <-m.done:
+			joinTimer.Stop()
+		}
+	}
+
+	m.recvLoop()
+	helpers.Wait()
+
+	m.errMu.Lock()
+	err := m.err
+	m.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	joins, leaves, deaths, revoked, reassigned := m.reg.counters()
+	return &Result[T]{
+		Store: m.store,
+		Stats: Stats{
+			Tasks:           m.tasks.Load(),
+			Dispatches:      m.dispatches.Load(),
+			Redistributions: m.redist.Load(),
+			Restored:        m.restored.Load(),
+			StaleResults:    m.stale.Load(),
+			Joins:           joins,
+			Leaves:          leaves,
+			Deaths:          deaths,
+			LeasesRevoked:   revoked,
+			Reassigned:      reassigned,
+			Elapsed:         time.Since(start),
+		},
+	}, nil
+}
+
+func (m *Master[T]) finished() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// teardown dismisses every member, stops listening and closes the
+// checkpoint stream.
+func (m *Master[T]) teardown() {
+	m.ln.Close()
+	m.connMu.Lock()
+	conns := make([]*memberConn, 0, len(m.conns))
+	for _, mc := range m.conns {
+		conns = append(conns, mc)
+	}
+	m.connMu.Unlock()
+	for _, mc := range conns {
+		_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+		mc.close()
+	}
+	if m.ckptFile != nil {
+		m.ckptFile.Close()
+	}
+}
+
+// restore replays the checkpoint's clean prefix (truncating any torn
+// tail) and hands the remaining computable frontier to the dispatcher.
+// Without a checkpoint the frontier is the DAG roots.
+func (m *Master[T]) restore() error {
+	ready := make(map[int32]bool)
+	for _, id := range m.parser.InitialReady() {
+		ready[id] = true
+	}
+	if m.opts.CheckpointPath != "" {
+		w, f, n, err := checkpoint.OpenAppend(m.opts.CheckpointPath, func(v int32, payload []byte) error {
+			if int(v) < 0 || int(v) >= len(m.graph.Verts) || !m.graph.Vertex(v).Exists {
+				return fmt.Errorf("cluster: checkpoint names unknown vertex %d", v)
+			}
+			if !ready[v] {
+				return fmt.Errorf("cluster: checkpoint record for vertex %d out of order", v)
+			}
+			blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
+			if err != nil || len(blocks) != 1 {
+				return fmt.Errorf("cluster: checkpoint payload for vertex %d: %v", v, err)
+			}
+			m.store.Put(m.geom.PosOf(v), blocks[0])
+			delete(ready, v)
+			for _, nv := range m.parser.Complete(v) {
+				ready[nv] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		m.ckpt, m.ckptFile, _ = w, f, n
+		m.restored.Store(int64(n))
+	}
+	frontier := make([]int32, 0, len(ready))
+	for id := range ready {
+		frontier = append(frontier, id)
+	}
+	m.progress()
+	m.disp.Ready(frontier...)
+	if m.parser.Finished() {
+		m.finish(nil)
+	}
+	return nil
+}
+
+// acceptLoop admits workers for the whole lifetime of the run: elastic
+// join is just "the accept loop never stops".
+func (m *Master[T]) acceptLoop() {
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed in teardown
+		}
+		go m.admit(c)
+	}
+}
+
+// admit performs the join handshake on one fresh connection and, on
+// success, registers the member and starts its pump and sender.
+func (m *Master[T]) admit(c net.Conn) {
+	cn := comm.NewConn(c, 0)
+	hello, err := cn.RecvHello(10 * time.Second)
+	if err != nil {
+		cn.Close()
+		return
+	}
+	if reason := comm.CheckHello(hello, m.digest); reason != "" {
+		cn.Reject(reason)
+		return
+	}
+	if !hello.Elastic {
+		cn.Reject("this master runs an elastic cluster; start the worker with -elastic (no -rank)")
+		return
+	}
+	if m.finished() {
+		cn.Reject("run already finished")
+		return
+	}
+	member := m.reg.Admit(hello.Name, c.RemoteAddr().String())
+	if err := cn.SendWelcome(comm.Welcome{Version: comm.ProtocolVersion, Member: member.ID}); err != nil {
+		m.reg.MarkDead(member.ID)
+		cn.Close()
+		return
+	}
+	// A healthy member heartbeats every interval; its link may stay
+	// silent for at most the death threshold plus one interval of slack
+	// before the pump fails it. Sends get the same bound, so a peer that
+	// stopped reading cannot wedge the master's loops.
+	cn.SetReadIdle(time.Duration(m.opts.HeartbeatMiss+1) * m.opts.HeartbeatInterval)
+	cn.SetWriteTimeout(time.Duration(m.opts.HeartbeatMiss+1) * m.opts.HeartbeatInterval)
+	mc := &memberConn{
+		id:   member.ID,
+		cn:   cn,
+		idle: make(chan struct{}, 4),
+		stop: make(chan struct{}),
+	}
+	m.connMu.Lock()
+	m.conns[member.ID] = mc
+	live := len(m.conns)
+	m.connMu.Unlock()
+	if live >= m.opts.MinWorkers {
+		m.quorumOnce.Do(func() { close(m.quorum) })
+	}
+	go m.pump(mc)
+	go m.senderLoop(mc)
+}
+
+// pump reads one member's messages into the master inbox; a connection
+// error becomes a down event (the fast path of failure detection —
+// heartbeat loss is the slow path for wedged-but-open links).
+func (m *Master[T]) pump(mc *memberConn) {
+	for {
+		msg, err := mc.cn.Recv()
+		if err != nil {
+			select {
+			case m.inbox <- event{member: mc.id, down: true, err: err}:
+			case <-m.done:
+			}
+			return
+		}
+		select {
+		case m.inbox <- event{member: mc.id, msg: msg}:
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// senderLoop dispatches work to one member whenever it is idle, mirroring
+// the fixed master's per-slave sender.
+func (m *Master[T]) senderLoop(mc *memberConn) {
+	for {
+		select {
+		case <-mc.idle:
+		case <-mc.stop:
+			return
+		case <-m.done:
+			_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+			return
+		}
+		for {
+			v, ok := m.disp.Next(mc.id)
+			if !ok {
+				_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+				return
+			}
+			select {
+			case <-mc.stop:
+				// The member died while this sender waited for work;
+				// hand the vertex back for a live member.
+				m.disp.Requeue(v)
+				return
+			default:
+			}
+			if m.dispatch(mc, v) {
+				break
+			}
+			// The vertex finished while queued for redistribution (its
+			// result raced a revocation); take the next one without
+			// consuming another idle token.
+		}
+	}
+}
+
+// dispatch leases vertex v to member mc and ships its data region. It
+// returns false when the vertex turned out to be already finished.
+func (m *Master[T]) dispatch(mc *memberConn, v int32) bool {
+	attempt, ok := m.rt.Register(v)
+	if !ok {
+		return false
+	}
+	deps := m.graph.Vertex(v).DataPre
+	positions := make([]dag.Pos, len(deps))
+	for k, d := range deps {
+		positions[k] = m.geom.PosOf(d)
+	}
+	blocks := m.store.Gather(positions)
+	payload, err := matrix.EncodeBlocks(m.p.Codec, blocks)
+	if err != nil {
+		m.finish(fmt.Errorf("cluster: encoding data region of vertex %d: %w", v, err))
+		return true
+	}
+	m.leases.grant(v, mc.id, attempt)
+	m.ot.Add(v, attempt, time.Now().Add(m.opts.TaskTimeout))
+	m.opts.Trace.TaskStart(mc.id, v)
+	m.dispatches.Add(1)
+	if err := mc.cn.Send(comm.Message{Kind: comm.KindTask, Vertex: v, Attempt: attempt, Payload: payload}); err != nil {
+		// The pump (or heartbeat sweep) will revoke this member's
+		// leases, including the one just granted; nothing to unwind.
+		select {
+		case m.inbox <- event{member: mc.id, down: true, err: err}:
+		case <-m.done:
+		}
+	}
+	return true
+}
+
+// recvLoop serializes membership and result handling until the run ends.
+func (m *Master[T]) recvLoop() {
+	for {
+		select {
+		case <-m.done:
+			return
+		case ev := <-m.inbox:
+			if ev.down {
+				m.memberDown(ev.member, ev.err)
+				continue
+			}
+			m.reg.Beat(ev.member) // any traffic proves liveness
+			switch ev.msg.Kind {
+			case comm.KindIdle:
+				m.signalIdle(ev.member)
+			case comm.KindHeartbeat:
+				m.echoHeartbeat(ev.member)
+			case comm.KindLeave:
+				m.memberLeave(ev.member)
+			case comm.KindResult:
+				m.handleResult(ev.member, ev.msg)
+				m.signalIdle(ev.member)
+			}
+		}
+	}
+}
+
+func (m *Master[T]) signalIdle(member int) {
+	m.connMu.Lock()
+	mc := m.conns[member]
+	m.connMu.Unlock()
+	if mc == nil {
+		return
+	}
+	select {
+	case mc.idle <- struct{}{}:
+	default:
+	}
+}
+
+// echoHeartbeat answers a worker beacon, giving the worker's read-idle
+// bound the periodic traffic it needs to distinguish a slow master from
+// a dead one.
+func (m *Master[T]) echoHeartbeat(member int) {
+	m.connMu.Lock()
+	mc := m.conns[member]
+	m.connMu.Unlock()
+	if mc != nil {
+		_ = mc.cn.Send(comm.Message{Kind: comm.KindHeartbeat})
+	}
+}
+
+func (m *Master[T]) handleResult(member int, msg comm.Message) {
+	v := msg.Vertex
+	if !m.rt.Accept(v, msg.Attempt) {
+		// A superseded attempt: the vertex was revoked (member declared
+		// dead, or overtime) and reassigned; drop the late answer.
+		m.stale.Add(1)
+		return
+	}
+	m.ot.Remove(v)
+	m.leases.release(v)
+	blocks, err := matrix.DecodeBlocks(m.p.Codec, msg.Payload)
+	if err != nil || len(blocks) != 1 {
+		m.finish(fmt.Errorf("cluster: bad result payload for vertex %d from member %d: %v", v, member, err))
+		return
+	}
+	m.store.Put(m.geom.PosOf(v), blocks[0])
+	m.reg.NoteCompleted(member)
+	m.opts.Trace.TaskEnd(member, v)
+	m.tasks.Add(1)
+	if m.ckpt != nil {
+		if err := m.ckpt.Append(v, msg.Payload); err != nil {
+			m.finish(err)
+			return
+		}
+	}
+	newly := m.parser.Complete(v)
+	m.progress()
+	m.disp.Ready(newly...)
+	m.opts.Trace.Ready(m.disp.ReadyCount())
+	if m.parser.Finished() {
+		m.finish(nil)
+	}
+}
+
+func (m *Master[T]) progress() {
+	if m.opts.OnProgress == nil {
+		return
+	}
+	m.opts.OnProgress(m.graph.N-m.parser.Remaining(), m.graph.N)
+}
+
+// memberDown declares a member dead and reassigns its leased vertices.
+// It is idempotent: the pump, a failed send and the heartbeat sweep may
+// all report the same member.
+func (m *Master[T]) memberDown(member int, cause error) {
+	if !m.reg.MarkDead(member) {
+		return
+	}
+	_ = cause
+	m.revoke(member)
+}
+
+// memberLeave handles a graceful departure: same lease revocation, nicer
+// bookkeeping.
+func (m *Master[T]) memberLeave(member int) {
+	if !m.reg.MarkLeft(member) {
+		return
+	}
+	m.revoke(member)
+}
+
+// revoke tears down a member's connection and puts its leased vertices
+// back on the ready stack for live members. Death-triggered revocations
+// deliberately do not count toward MaxAttempts — an elastic cluster must
+// survive any number of worker failures as long as capacity remains; the
+// MaxAttempts guard stays on the overtime path, where repeated timeouts
+// of the same vertex indicate a poisoned task rather than lost hardware.
+func (m *Master[T]) revoke(member int) {
+	m.connMu.Lock()
+	mc := m.conns[member]
+	delete(m.conns, member)
+	m.connMu.Unlock()
+	if mc != nil {
+		mc.close()
+	}
+	leases := m.leases.revokeMember(member)
+	for _, l := range leases {
+		m.rt.Cancel(l.Vertex)
+		m.disp.Requeue(l.Vertex)
+	}
+	m.reg.noteRevoked(len(leases), len(leases))
+	if len(leases) > 0 {
+		m.opts.Trace.Ready(m.disp.ReadyCount())
+	}
+}
+
+// controlLoop is the fault-tolerance thread of the elastic master: it
+// applies heartbeat deadlines to the membership table and overtime
+// deadlines to in-flight vertices.
+func (m *Master[T]) controlLoop() {
+	ticker := time.NewTicker(m.opts.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case now := <-ticker.C:
+			for _, id := range m.reg.Sweep(now, m.opts.HeartbeatInterval, m.opts.HeartbeatMiss) {
+				// Sweep already marked it dead; revoke directly (the
+				// MarkDead in memberDown would see a dead member and
+				// skip).
+				m.revoke(id)
+			}
+			for _, e := range m.ot.ExpireBefore(now) {
+				m.rt.Cancel(e.ID)
+				m.leases.release(e.ID)
+				if int(m.rt.Attempts(e.ID)) >= m.opts.MaxAttempts {
+					m.finish(fmt.Errorf("cluster: vertex %d timed out %d times (MaxAttempts); giving up", e.ID, e.Attempt))
+					return
+				}
+				m.redist.Add(1)
+				m.disp.Requeue(e.ID)
+			}
+		}
+	}
+}

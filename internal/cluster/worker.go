@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// WorkerOptions configures one elastic worker process.
+type WorkerOptions struct {
+	// Addr is the master's address.
+	Addr string
+	// Spec is the problem identity sent in the join handshake. Its
+	// partition sizes override the ones in Run, so every member computes
+	// the geometry the master dispatched against. The zero Spec sends no
+	// digest (the master may still refuse unchecked joins).
+	Spec Spec
+	// Name labels this member in the master's logs and metrics.
+	Name string
+	// HeartbeatInterval is the beacon period; it must match (or undercut)
+	// the master's, since the master's death threshold is measured in its
+	// own intervals (default 250 ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss sizes the worker-side read-idle bound: the master
+	// echoes every beacon, so a link silent for HeartbeatMiss+1 intervals
+	// means the master is gone (default 3).
+	HeartbeatMiss int
+	// DialTimeout bounds dialing plus handshake (default 10 s); dialing
+	// retries within it, so workers may start before the master.
+	DialTimeout time.Duration
+	// Run carries the worker-local compute configuration: Threads,
+	// ThreadPartition, WorkDelayPerCell and the other thread-level knobs
+	// of core.Config. Partition sizes are overridden from Spec when set.
+	Run core.Config
+	// TaskDelay, when non-nil, is consulted before each task executes and
+	// the worker sleeps the returned duration — the fault-injection
+	// harness's hook for slowing a member down.
+	TaskDelay func() time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatMiss < 1 {
+		o.HeartbeatMiss = 3
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// RunWorker joins the elastic cluster at opts.Addr and computes tasks
+// until the master dismisses it (nil), the connection dies (error), or
+// ctx is cancelled — a cancellation sends a Leave frame first, so the
+// master reassigns this member's work immediately instead of waiting out
+// the heartbeat deadline.
+func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	cfg := opts.Run
+	if opts.Spec.Proc.Valid() {
+		cfg.ProcPartition = opts.Spec.Proc
+	}
+	if opts.Spec.Thread.Valid() {
+		cfg.ThreadPartition = opts.Spec.Thread
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	runner, err := core.NewTaskRunner(p, cfg)
+	if err != nil {
+		return err
+	}
+	digest := ""
+	if opts.Spec != (Spec{}) {
+		digest = opts.Spec.Digest()
+	}
+	cn, welcome, err := comm.DialHello(opts.Addr, comm.Hello{
+		Digest:  digest,
+		Elastic: true,
+		Name:    opts.Name,
+	}, opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	member := welcome.Member
+	idle := time.Duration(opts.HeartbeatMiss+1) * opts.HeartbeatInterval
+	cn.SetReadIdle(idle)
+	cn.SetWriteTimeout(idle)
+
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// Beacon: prove liveness to the master and provoke the echoes that
+	// feed this side's read-idle bound.
+	go func() {
+		ticker := time.NewTicker(opts.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if cn.Send(comm.Message{Kind: comm.KindHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	// Graceful leave on cancellation: the Leave frame goes out, then the
+	// connection closes to unblock the Recv below.
+	go func() {
+		select {
+		case <-stop:
+		case <-ctx.Done():
+			_ = cn.Send(comm.Message{Kind: comm.KindLeave})
+			cn.Close()
+		}
+	}()
+
+	if err := cn.Send(comm.Message{Kind: comm.KindIdle}); err != nil {
+		return fmt.Errorf("cluster: member %d announcing idle: %w", member, err)
+	}
+	for {
+		msg, err := cn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("cluster: member %d lost master: %w", member, err)
+		}
+		switch msg.Kind {
+		case comm.KindTask:
+			if opts.TaskDelay != nil {
+				if d := opts.TaskDelay(); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			out, err := runner.Run(msg.Vertex, msg.Payload)
+			if err != nil {
+				// A compute failure is fatal for this member; dying loudly
+				// lets the master's revocation path reassign the vertex.
+				return fmt.Errorf("cluster: member %d computing vertex %d: %w", member, msg.Vertex, err)
+			}
+			if err := cn.Send(comm.Message{Kind: comm.KindResult, Vertex: msg.Vertex, Attempt: msg.Attempt, Payload: out}); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("cluster: member %d sending result of vertex %d: %w", member, msg.Vertex, err)
+			}
+		case comm.KindHeartbeat:
+			// The master's echo of our beacon; its arrival already reset
+			// the read-idle clock.
+		case comm.KindEnd:
+			return nil
+		}
+	}
+}

@@ -35,6 +35,13 @@ const (
 	KindEnd
 	// KindUser is reserved for application-level messages.
 	KindUser
+	// KindHeartbeat is the liveness beacon of the elastic cluster layer:
+	// workers send it periodically and the master echoes it, so both
+	// sides can bound how long a link may stay silent.
+	KindHeartbeat
+	// KindLeave announces a graceful departure from an elastic cluster;
+	// the master revokes the member's leases and reassigns its work.
+	KindLeave
 )
 
 func (k Kind) String() string {
@@ -49,6 +56,10 @@ func (k Kind) String() string {
 		return "end"
 	case KindUser:
 		return "user"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindLeave:
+		return "leave"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -1,0 +1,251 @@
+package comm
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Version skew, direction 1: an old worker (protocol v0, the
+// pre-versioning hello) dials a current master. The master must refuse
+// the join with an error naming both versions, and the worker must see
+// that reason instead of an opaque gob failure.
+func TestHandshakeRejectsOldWorker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	masterErr := make(chan string, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			masterErr <- err.Error()
+			return
+		}
+		cn := NewConn(c, 0)
+		hello, err := cn.RecvHello(5 * time.Second)
+		if err != nil {
+			masterErr <- err.Error()
+			return
+		}
+		reason := CheckHello(hello, "")
+		if reason == "" {
+			masterErr <- "old worker was not rejected"
+			cn.Close()
+			return
+		}
+		cn.Reject(reason)
+		masterErr <- reason
+	}()
+
+	_, _, err = dialHelloVersion(ln.Addr().String(), Hello{Rank: 1}, 5*time.Second, 0)
+	if err == nil {
+		t.Fatal("v0 worker joined a v1 master")
+	}
+	if !strings.Contains(err.Error(), "v0") || !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("worker-side error does not diagnose the skew: %v", err)
+	}
+	reason := <-masterErr
+	if !strings.Contains(reason, "v0") {
+		t.Fatalf("master-side reason does not name the worker version: %q", reason)
+	}
+}
+
+// Version skew, direction 2: a current worker dials a master that speaks
+// a different (older) protocol version. The welcome's version field lets
+// the worker diagnose the skew.
+func TestHandshakeRejectsOldMaster(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		cn := NewConn(c, 0)
+		if _, err := cn.RecvHello(5 * time.Second); err != nil {
+			return
+		}
+		// An imaginary v0-with-welcome master: answers, but with its own
+		// version, and the worker must walk away.
+		_ = cn.SendWelcome(Welcome{Version: 0, Member: 1})
+	}()
+
+	_, _, err = DialHello(ln.Addr().String(), Hello{Rank: 1}, 5*time.Second)
+	if err == nil {
+		t.Fatal("worker accepted a master speaking another protocol version")
+	}
+	if !strings.Contains(err.Error(), "master speaks v0") {
+		t.Fatalf("worker-side error does not diagnose the skew: %v", err)
+	}
+}
+
+// A worker started with different problem flags carries a different spec
+// digest; the master must refuse it with an error naming both digests.
+func TestHandshakeRejectsDigestMismatch(t *testing.T) {
+	addr := "127.0.0.1:39222"
+	masterc := make(chan error, 1)
+	go func() {
+		// The mismatched worker is rejected, so the rendezvous can never
+		// complete; the master must time out in Accept, not hang.
+		_, err := ListenMasterOpts(addr, 1, 1500*time.Millisecond, TCPOptions{Digest: "spec-a"})
+		masterc <- err
+	}()
+	_, err := DialWorkerOpts(addr, 1, 1, 5*time.Second, TCPOptions{Digest: "spec-b"})
+	if err == nil {
+		t.Fatal("digest mismatch was not rejected")
+	}
+	if !strings.Contains(err.Error(), "spec-b") || !strings.Contains(err.Error(), "spec-a") {
+		t.Fatalf("rejection does not name both digests: %v", err)
+	}
+	if err := <-masterc; err == nil {
+		t.Fatal("master assembled a cluster from a mismatched worker")
+	}
+}
+
+// Matching digests (and empty digests) must keep joining.
+func TestHandshakeDigestMatchAndUnchecked(t *testing.T) {
+	for _, digests := range [][2]string{{"spec-a", "spec-a"}, {"", "spec-a"}, {"spec-a", ""}} {
+		addr := "127.0.0.1:0"
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr = ln.Addr().String()
+		ln.Close()
+		type res struct {
+			tr  *TCPTransport
+			err error
+		}
+		masterc := make(chan res, 1)
+		go func() {
+			tr, err := ListenMasterOpts(addr, 1, 5*time.Second, TCPOptions{Digest: digests[0]})
+			masterc <- res{tr, err}
+		}()
+		w, err := DialWorkerOpts(addr, 1, 1, 5*time.Second, TCPOptions{Digest: digests[1]})
+		if err != nil {
+			t.Fatalf("digests %q: %v", digests, err)
+		}
+		mr := <-masterc
+		if mr.err != nil {
+			t.Fatalf("digests %q: master: %v", digests, mr.err)
+		}
+		w.Close()
+		mr.tr.Close()
+	}
+}
+
+// Regression for half-open connections: a peer that completes the
+// handshake and then wedges (sends nothing, reads nothing, never closes)
+// must surface as a peer-down error within the read-idle bound — before
+// this, the master's pump would hang on the dead link forever.
+func TestReadIdleSurfacesWedgedPeer(t *testing.T) {
+	addr := "127.0.0.1:39223"
+	downc := make(chan int, 1)
+	type res struct {
+		tr  *TCPTransport
+		err error
+	}
+	masterc := make(chan res, 1)
+	go func() {
+		tr, err := ListenMasterOpts(addr, 1, 5*time.Second, TCPOptions{
+			ReadIdle: 300 * time.Millisecond,
+			OnPeerDown: func(rank int, err error) {
+				if err == nil {
+					t.Error("peer-down with nil error")
+				}
+				downc <- rank
+			},
+		})
+		masterc <- res{tr, err}
+	}()
+
+	// The wedged fake peer: a raw conn that says hello, reads the
+	// welcome, then goes silent without closing. Dialing retries until
+	// the master goroutine is listening.
+	var c net.Conn
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(20 * time.Millisecond) {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cn := NewConn(c, 0)
+	if err := cn.SendHello(Hello{Rank: 1, Version: ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cn.RecvWelcome(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mr := <-masterc
+	if mr.err != nil {
+		t.Fatal(mr.err)
+	}
+	defer mr.tr.Close()
+
+	select {
+	case rank := <-downc:
+		if rank != 1 {
+			t.Fatalf("peer-down for rank %d, want 1", rank)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wedged peer never surfaced as peer-down")
+	}
+}
+
+// A worker whose master link dies must get ErrClosed from Recv instead of
+// blocking forever (its only link is gone, so the transport closes).
+func TestWorkerTransportClosesOnDeadMaster(t *testing.T) {
+	addr := "127.0.0.1:39224"
+	type res struct {
+		tr  *TCPTransport
+		err error
+	}
+	masterc := make(chan res, 1)
+	go func() {
+		tr, err := ListenMaster(addr, 1, 5*time.Second)
+		masterc <- res{tr, err}
+	}()
+	w, err := DialWorker(addr, 1, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mr := <-masterc
+	if mr.err != nil {
+		t.Fatal(mr.err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		_, recvErr = w.Recv()
+	}()
+	mr.tr.Close() // the master dies
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker Recv hung after master death")
+	}
+	if !errors.Is(recvErr, ErrClosed) {
+		t.Fatalf("worker Recv = %v, want ErrClosed", recvErr)
+	}
+}

@@ -1,7 +1,6 @@
 package comm
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -10,45 +9,62 @@ import (
 
 // TCP transport: a star topology matching the master-slave deployment of
 // EasyHPS. The master listens; each worker process dials in and announces
-// its rank with a hello frame. Messages are gob-encoded Message values.
+// itself with a Hello frame (rank, protocol version, problem-spec digest)
+// and is answered with a Welcome. Messages are gob-encoded Message values
+// over comm.Conn links with TCP keepalive, so a silently dead peer
+// surfaces as an error instead of a hang.
 //
 // Only master<->slave links exist (the runtime never needs slave<->slave
 // traffic), so Send from a worker accepts rank 0 only.
 
-// helloFrame is the first value on every worker connection.
-type helloFrame struct {
-	Rank int
+// TCPOptions tunes a TCP endpoint beyond the rendezvous parameters. The
+// zero value reproduces the defaults.
+type TCPOptions struct {
+	// Digest is the problem-spec fingerprint of this side. When both
+	// sides supply one, the master enforces equality at join time,
+	// replacing the "flags must match" convention with a checked
+	// handshake. Empty skips the check.
+	Digest string
+	// KeepAlive is the TCP keepalive probe period (0 = 15 s default,
+	// negative disables).
+	KeepAlive time.Duration
+	// ReadIdle, when positive, bounds how long a link may stay silent
+	// before its pump fails the connection. Enable it only when the
+	// peer is guaranteed to produce periodic traffic (the elastic
+	// cluster's heartbeats); in plain fixed-mode runs an idle link is
+	// healthy.
+	ReadIdle time.Duration
+	// OnPeerDown, when non-nil, is called once per failed link with the
+	// peer's rank and the pump error. It runs on the pump goroutine, so
+	// it must not block.
+	OnPeerDown func(rank int, err error)
 }
 
 // TCPTransport implements Transport over TCP connections.
 type TCPTransport struct {
 	rank int
 	size int
+	opts TCPOptions
 	in   chan Message
 	done chan struct{}
 	once sync.Once
 
 	mu    sync.Mutex
-	conns map[int]*tcpConn
+	conns map[int]*Conn
 	ln    net.Listener
-}
-
-type tcpConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex // serializes writes
-}
-
-func (tc *tcpConn) send(m Message) error {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.enc.Encode(m)
 }
 
 // ListenMaster starts the master endpoint (rank 0): it listens on addr and
 // waits until exactly slaves workers have connected and identified
 // themselves, or the timeout expires.
 func ListenMaster(addr string, slaves int, timeout time.Duration) (*TCPTransport, error) {
+	return ListenMasterOpts(addr, slaves, timeout, TCPOptions{})
+}
+
+// ListenMasterOpts is ListenMaster with endpoint options: a problem-spec
+// digest to enforce, keepalive/read-idle tuning and peer-down
+// notification.
+func ListenMasterOpts(addr string, slaves int, timeout time.Duration, opts TCPOptions) (*TCPTransport, error) {
 	if slaves < 1 {
 		return nil, fmt.Errorf("comm: need at least one slave, got %d", slaves)
 	}
@@ -59,13 +75,14 @@ func ListenMaster(addr string, slaves int, timeout time.Duration) (*TCPTransport
 	t := &TCPTransport{
 		rank:  0,
 		size:  slaves + 1,
+		opts:  opts,
 		in:    make(chan Message, 16*(slaves+1)+256),
 		done:  make(chan struct{}),
-		conns: make(map[int]*tcpConn),
+		conns: make(map[int]*Conn),
 		ln:    ln,
 	}
 	deadline := time.Now().Add(timeout)
-	for len(t.conns) < slaves {
+	for t.connCount() < slaves {
 		if dl, ok := ln.(*net.TCPListener); ok {
 			if err := dl.SetDeadline(deadline); err != nil {
 				ln.Close()
@@ -75,72 +92,109 @@ func ListenMaster(addr string, slaves int, timeout time.Duration) (*TCPTransport
 		c, err := ln.Accept()
 		if err != nil {
 			ln.Close()
-			return nil, fmt.Errorf("comm: accepting worker %d of %d: %w", len(t.conns)+1, slaves, err)
+			return nil, fmt.Errorf("comm: accepting worker %d of %d: %w", t.connCount()+1, slaves, err)
 		}
-		dec := gob.NewDecoder(c)
-		var hello helloFrame
-		if err := dec.Decode(&hello); err != nil {
-			c.Close()
+		cn := NewConn(c, opts.KeepAlive)
+		hello, err := cn.RecvHello(10 * time.Second)
+		if err != nil {
+			cn.Close()
+			continue
+		}
+		if reason := CheckHello(hello, opts.Digest); reason != "" {
+			// The refusal reaches the worker before the close, so the
+			// skew is diagnosed on both sides; the master keeps waiting
+			// for compatible workers until its own timeout.
+			cn.Reject(fmt.Sprintf("%s (worker rank %d)", reason, hello.Rank))
 			continue
 		}
 		if hello.Rank < 1 || hello.Rank > slaves {
-			c.Close()
+			cn.Reject(fmt.Sprintf("invalid rank %d (want 1..%d)", hello.Rank, slaves))
 			ln.Close()
 			return nil, fmt.Errorf("comm: worker announced invalid rank %d", hello.Rank)
 		}
-		if _, dup := t.conns[hello.Rank]; dup {
-			c.Close()
+		t.mu.Lock()
+		_, dup := t.conns[hello.Rank]
+		t.mu.Unlock()
+		if dup {
+			cn.Reject(fmt.Sprintf("rank %d already joined", hello.Rank))
 			ln.Close()
 			return nil, fmt.Errorf("comm: two workers announced rank %d", hello.Rank)
 		}
-		t.conns[hello.Rank] = &tcpConn{c: c, enc: gob.NewEncoder(c)}
-		go t.pump(hello.Rank, c, dec)
+		if err := cn.SendWelcome(Welcome{Version: ProtocolVersion, Member: hello.Rank}); err != nil {
+			cn.Close()
+			continue
+		}
+		cn.SetReadIdle(opts.ReadIdle)
+		t.mu.Lock()
+		t.conns[hello.Rank] = cn
+		t.mu.Unlock()
+		go t.pump(hello.Rank, cn)
 	}
 	return t, nil
+}
+
+// connCount returns the live link count (pumps drop failed links, so it
+// can shrink during the rendezvous).
+func (t *TCPTransport) connCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
 }
 
 // DialWorker connects a worker endpoint with the given rank (1-based) to
 // the master at addr, retrying until the timeout expires so workers can be
 // started before the master.
 func DialWorker(addr string, rank, slaves int, timeout time.Duration) (*TCPTransport, error) {
+	return DialWorkerOpts(addr, rank, slaves, timeout, TCPOptions{})
+}
+
+// DialWorkerOpts is DialWorker with endpoint options.
+func DialWorkerOpts(addr string, rank, slaves int, timeout time.Duration, opts TCPOptions) (*TCPTransport, error) {
 	if rank < 1 || rank > slaves {
 		return nil, fmt.Errorf("comm: invalid worker rank %d (1..%d)", rank, slaves)
 	}
-	var c net.Conn
-	var err error
-	deadline := time.Now().Add(timeout)
-	for {
-		c, err = net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("comm: dialing master %s: %w", addr, err)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	enc := gob.NewEncoder(c)
-	if err := enc.Encode(helloFrame{Rank: rank}); err != nil {
-		c.Close()
+	cn, _, err := DialHello(addr, Hello{Rank: rank, Digest: opts.Digest}, timeout)
+	if err != nil {
 		return nil, err
 	}
+	cn.SetReadIdle(opts.ReadIdle)
 	t := &TCPTransport{
 		rank:  rank,
 		size:  slaves + 1,
+		opts:  opts,
 		in:    make(chan Message, 272),
 		done:  make(chan struct{}),
-		conns: map[int]*tcpConn{0: {c: c, enc: enc}},
+		conns: map[int]*Conn{0: cn},
 	}
-	go t.pump(0, c, gob.NewDecoder(c))
+	go t.pump(0, cn)
 	return t, nil
 }
 
 // pump reads messages from one connection into the inbox until the
-// connection or the transport closes.
-func (t *TCPTransport) pump(from int, c net.Conn, dec *gob.Decoder) {
+// connection or the transport closes. A failed link is dropped from the
+// connection table and reported through OnPeerDown; on the worker side
+// (whose only link is the master) the whole transport closes, so a dead
+// master surfaces as ErrClosed from Recv instead of a hang.
+func (t *TCPTransport) pump(from int, cn *Conn) {
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		m, err := cn.Recv()
+		if err != nil {
+			t.mu.Lock()
+			if t.conns[from] == cn {
+				delete(t.conns, from)
+			}
+			t.mu.Unlock()
+			select {
+			case <-t.done:
+				// Close() already tore the link down; not a peer fault.
+			default:
+				if t.opts.OnPeerDown != nil {
+					t.opts.OnPeerDown(from, err)
+				}
+				if t.rank != 0 {
+					t.Close()
+				}
+			}
 			return
 		}
 		m.From = from
@@ -169,7 +223,7 @@ func (t *TCPTransport) Send(to int, m Message) error {
 	}
 	m.From = t.rank
 	m.To = to
-	return conn.send(m)
+	return conn.Send(m)
 }
 
 func (t *TCPTransport) Recv() (Message, error) {
@@ -192,7 +246,7 @@ func (t *TCPTransport) Close() error {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		for _, c := range t.conns {
-			c.c.Close()
+			c.Close()
 		}
 		if t.ln != nil {
 			t.ln.Close()

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/matrix"
+)
+
+// TaskRunner executes single processor-level sub-tasks outside a full
+// slave loop: decode the shipped data region, run the thread-level worker
+// pool over the block (computeBlock, with its slave DAG, overtime queue
+// and panic recovery), and encode the result. It is the compute engine of
+// the elastic cluster worker (internal/cluster), which owns its own
+// message protocol but must produce bit-identical blocks to a fixed-mode
+// slave.
+type TaskRunner[T any] struct {
+	p    Problem[T]
+	cfg  Config
+	geom dag.Geometry
+	ctrs *counters
+}
+
+// NewTaskRunner validates the problem and configuration (defaults
+// applied as in a full run; Slaves is irrelevant here and forced valid)
+// and prepares the processor-level geometry.
+func NewTaskRunner[T any](p Problem[T], cfg Config) (*TaskRunner[T], error) {
+	if cfg.Slaves < 1 {
+		cfg.Slaves = 1
+	}
+	cfg, err := prepare(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskRunner[T]{
+		p:    p,
+		cfg:  cfg,
+		geom: dag.MatrixGeometry(p.Size, cfg.ProcPartition),
+		ctrs: &counters{},
+	}, nil
+}
+
+// NumTasks returns how many processor-level sub-tasks the partitioned
+// problem has (grid cells, holes included).
+func (r *TaskRunner[T]) NumTasks() int { return r.geom.Grid.Cells() }
+
+// Run executes vertex with the given encoded data region and returns the
+// encoded output block.
+func (r *TaskRunner[T]) Run(vertex int32, payload []byte) ([]byte, error) {
+	if vertex < 0 || int(vertex) >= r.NumTasks() {
+		return nil, fmt.Errorf("core: task vertex %d outside grid %v", vertex, r.geom.Grid)
+	}
+	inputs, err := matrix.DecodeBlocks(r.p.Codec, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding data region of vertex %d: %w", vertex, err)
+	}
+	rect := r.geom.Rect(r.geom.PosOf(vertex))
+	out := computeBlock(r.p, r.cfg, rect, inputs, nil, vertex, r.ctrs)
+	return matrix.EncodeBlocks(r.p.Codec, []*matrix.Block[T]{out})
+}
+
+// SubTasks returns the number of thread-level sub-sub-tasks executed so
+// far (duplicates from timeout re-pushes included).
+func (r *TaskRunner[T]) SubTasks() int64 { return r.ctrs.subTasks.Load() }

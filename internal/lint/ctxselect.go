@@ -29,6 +29,7 @@ func NewCtxSelect() *CtxSelect {
 		"internal/sched",
 		"internal/server",
 		"internal/comm",
+		"internal/cluster",
 	}}
 }
 

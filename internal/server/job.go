@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -211,6 +212,11 @@ type Manager struct {
 	wg    sync.WaitGroup
 
 	metrics *metrics
+
+	// clusterMu guards clusterStats, the optional snapshot source of an
+	// attached elastic cluster (see SetClusterStats).
+	clusterMu    sync.Mutex
+	clusterStats func() cluster.Snapshot
 
 	mu       sync.Mutex
 	seq      uint64

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -73,6 +74,16 @@ func (x *metrics) addRunStats(s core.Stats) {
 	x.payload.Add(s.PayloadBytes)
 }
 
+// SetClusterStats attaches an elastic-cluster snapshot source (typically
+// the Registry.Metrics of a running cluster.Master) to the /metrics
+// exposition. A nil fn detaches it. fn is called at exposition time and
+// must be safe for concurrent use.
+func (m *Manager) SetClusterStats(fn func() cluster.Snapshot) {
+	m.clusterMu.Lock()
+	m.clusterStats = fn
+	m.clusterMu.Unlock()
+}
+
 // WriteMetrics writes the text exposition (Prometheus-compatible format)
 // of the manager's metrics.
 func (m *Manager) WriteMetrics(w io.Writer) {
@@ -111,6 +122,21 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP easyhps_redistributions_total Processor-level timeout recoveries across all runs.\n# TYPE easyhps_redistributions_total counter\neasyhps_redistributions_total %d\n", x.redist.Load())
 	fmt.Fprintf(w, "# HELP easyhps_messages_total Transport messages across all runs.\n# TYPE easyhps_messages_total counter\neasyhps_messages_total %d\n", x.messages.Load())
 	fmt.Fprintf(w, "# HELP easyhps_payload_bytes_total Transport payload bytes across all runs.\n# TYPE easyhps_payload_bytes_total counter\neasyhps_payload_bytes_total %d\n", x.payload.Load())
+
+	m.clusterMu.Lock()
+	clusterFn := m.clusterStats
+	m.clusterMu.Unlock()
+	if clusterFn != nil {
+		s := clusterFn()
+		fmt.Fprintf(w, "# HELP easyhps_cluster_members Elastic cluster members by state.\n# TYPE easyhps_cluster_members gauge\n")
+		for _, state := range []string{"active", "suspect", "dead", "left"} {
+			fmt.Fprintf(w, "easyhps_cluster_members{state=%q} %d\n", state, s.States[state])
+		}
+		fmt.Fprintf(w, "# HELP easyhps_cluster_joins_total Workers admitted into the elastic cluster.\n# TYPE easyhps_cluster_joins_total counter\neasyhps_cluster_joins_total %d\n", s.Joins)
+		fmt.Fprintf(w, "# HELP easyhps_cluster_leaves_total Graceful departures from the elastic cluster.\n# TYPE easyhps_cluster_leaves_total counter\neasyhps_cluster_leaves_total %d\n", s.Leaves)
+		fmt.Fprintf(w, "# HELP easyhps_cluster_deaths_total Members declared dead (heartbeat loss or connection failure).\n# TYPE easyhps_cluster_deaths_total counter\neasyhps_cluster_deaths_total %d\n", s.Deaths)
+		fmt.Fprintf(w, "# HELP easyhps_cluster_leases_revoked_total Task leases revoked by member death or leave.\n# TYPE easyhps_cluster_leases_revoked_total counter\neasyhps_cluster_leases_revoked_total %d\n", s.LeasesRevoked)
+	}
 
 	x.histMu.Lock()
 	counts, sum, n := x.histCount, x.histSum, x.histN

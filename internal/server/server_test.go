@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dp"
@@ -337,6 +338,50 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if strings.Contains(text, "easyhps_tasks_total 0\n") {
 		t.Errorf("easyhps_tasks_total still zero:\n%s", text)
+	}
+}
+
+// TestClusterMetricsExposition checks that an attached elastic cluster's
+// membership snapshot surfaces on /metrics — and that nothing
+// cluster-related is emitted when no cluster is attached.
+func TestClusterMetricsExposition(t *testing.T) {
+	mgr, c := startService(t, server.ManagerConfig{Run: fastRun(), MaxConcurrent: 1, QueueDepth: 2})
+	ctx := context.Background()
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if strings.Contains(text, "easyhps_cluster_") {
+		t.Fatalf("cluster metrics exposed without a cluster attached:\n%s", text)
+	}
+
+	mgr.SetClusterStats(func() cluster.Snapshot {
+		return cluster.Snapshot{
+			States:        map[string]int{"active": 3, "suspect": 1, "dead": 1},
+			Joins:         5,
+			Leaves:        1,
+			Deaths:        1,
+			LeasesRevoked: 2,
+		}
+	})
+	text, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"easyhps_cluster_members{state=\"active\"} 3",
+		"easyhps_cluster_members{state=\"suspect\"} 1",
+		"easyhps_cluster_members{state=\"dead\"} 1",
+		"easyhps_cluster_members{state=\"left\"} 0",
+		"easyhps_cluster_joins_total 5",
+		"easyhps_cluster_leaves_total 1",
+		"easyhps_cluster_deaths_total 1",
+		"easyhps_cluster_leases_revoked_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -19,6 +19,10 @@ const (
 	EvEnd
 	// EvReady records a change of the computable-set size.
 	EvReady
+	// EvMember records a cluster membership transition (join, suspect,
+	// dead, left) of an elastic worker; Worker carries the member id and
+	// Label the new state.
+	EvMember
 )
 
 // Event is one recorded scheduling event.
@@ -27,7 +31,8 @@ type Event struct {
 	Kind   EventKind
 	Worker int
 	Vertex int32
-	Ready  int // ready-set size, for EvReady
+	Ready  int    // ready-set size, for EvReady
+	Label  string // membership state, for EvMember
 }
 
 // Recorder collects events. A nil *Recorder is valid and records nothing,
@@ -61,6 +66,23 @@ func (r *Recorder) TaskEnd(w int, v int32) { r.add(Event{Kind: EvEnd, Worker: w,
 
 // Ready records the current size of the computable set.
 func (r *Recorder) Ready(n int) { r.add(Event{Kind: EvReady, Ready: n}) }
+
+// Member records a membership transition of elastic worker id (states:
+// "active", "suspect", "dead", "left").
+func (r *Recorder) Member(id int, state string) {
+	r.add(Event{Kind: EvMember, Worker: id, Label: state})
+}
+
+// MemberEvents filters the recording down to membership transitions.
+func (r *Recorder) MemberEvents() []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == EvMember {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // Events returns a copy of the recorded events in order.
 func (r *Recorder) Events() []Event {

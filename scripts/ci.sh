@@ -20,3 +20,8 @@ go vet ./...
 go run ./cmd/easyhps-vet ./...
 go build ./...
 go test -race ./...
+# The elastic-cluster integration tests (kill/partition/join/restart over
+# real sockets) are the most schedule-sensitive code in the repo; run them
+# a second time under -race with caching off so a lucky first pass cannot
+# hide a flaky membership or lease race.
+go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects' ./internal/cluster/
