@@ -43,6 +43,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		proc    = flag.Int("proc", 0, "process_partition_size")
 		thread  = flag.Int("thread", 0, "thread_partition_size")
+		batch   = flag.Int("batch", 1, "max ready vertices per task message (1 = classic per-vertex protocol)")
 		wait    = flag.Duration("wait", time.Minute, "how long to wait for workers")
 
 		elastic    = flag.Bool("elastic", false, "run an elastic cluster master (workers join/leave freely)")
@@ -73,6 +74,7 @@ func main() {
 			HeartbeatMiss:     *hbMiss,
 			JoinWindow:        *wait,
 			CheckpointPath:    *ckpt,
+			Batch:             *batch,
 			RunTimeout:        15 * time.Minute,
 		})
 		fatal(err)
@@ -97,7 +99,7 @@ func main() {
 	defer tr.Close()
 	fmt.Println("cluster assembled; scheduling", prob.Name)
 
-	cfg := core.Config{Threads: 1, RunTimeout: 15 * time.Minute}
+	cfg := core.Config{Threads: 1, RunTimeout: 15 * time.Minute, Batch: *batch}
 	if *proc > 0 {
 		cfg.ProcPartition = dag.Square(*proc)
 	}

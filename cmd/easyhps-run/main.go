@@ -34,6 +34,7 @@ func main() {
 		proc    = flag.Int("proc", 0, "process_partition_size (default n/8)")
 		thread  = flag.Int("thread", 0, "thread_partition_size (default proc/4)")
 		policy  = flag.String("policy", "dynamic", "scheduling policy: dynamic or bcw")
+		batch   = flag.Int("batch", 1, "max ready vertices per task message (1 = classic per-vertex protocol)")
 		verbose = flag.Bool("v", false, "print runtime statistics")
 		gantt   = flag.Bool("gantt", false, "print a per-slave execution timeline")
 		fasta   = flag.String("fasta", "", "align the first two records of this FASTA file (swgg/editdist/lcs)")
@@ -43,6 +44,7 @@ func main() {
 	cfg := core.Config{
 		Slaves:     *slaves,
 		Threads:    *threads,
+		Batch:      *batch,
 		RunTimeout: 15 * time.Minute,
 	}
 	if *proc > 0 {

@@ -38,6 +38,7 @@ func main() {
 		proc    = flag.Int("proc", 0, "process_partition_size (must match)")
 		thread  = flag.Int("thread", 0, "thread_partition_size")
 		threads = flag.Int("threads", 4, "compute goroutines on this worker")
+		batch   = flag.Int("batch", 1, "flush results in groups of up to this many when the master batches tasks")
 		wait    = flag.Duration("wait", time.Minute, "how long to keep dialing the master")
 
 		elastic = flag.Bool("elastic", false, "join an elastic cluster master (ignores -rank/-workers)")
@@ -69,7 +70,7 @@ func main() {
 			HeartbeatInterval: *hb,
 			HeartbeatMiss:     *hbMiss,
 			DialTimeout:       *wait,
-			Run:               core.Config{Threads: *threads},
+			Run:               core.Config{Threads: *threads, Batch: *batch},
 		})
 		if err == context.Canceled {
 			fmt.Println("worker left the cluster")
@@ -84,7 +85,7 @@ func main() {
 	fatal(err)
 	defer tr.Close()
 
-	cfg := core.Config{Threads: *threads}
+	cfg := core.Config{Threads: *threads, Batch: *batch}
 	if *proc > 0 {
 		cfg.ProcPartition = dag.Square(*proc)
 	}

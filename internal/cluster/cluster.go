@@ -89,6 +89,14 @@ type Options struct {
 	// count — an elastic cluster must survive any number of worker
 	// failures as long as capacity remains.
 	MaxAttempts int
+	// Batch bounds how many ready vertices one dispatch message may
+	// carry to a member (default 1, the classic per-vertex protocol).
+	// Every vertex of a batch holds its own lease, so a member death
+	// mid-batch revokes and reassigns exactly the undone remainder.
+	// Batch is a scheduling knob, deliberately outside Spec: masters and
+	// workers with different Batch settings interoperate (the worker
+	// executes whatever batch arrives and flushes at its own bound).
+	Batch int
 	// RunTimeout aborts the run when exceeded (0 disables).
 	RunTimeout time.Duration
 	// JoinWindow bounds how long Run waits for the MinWorkers quorum
@@ -125,6 +133,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxAttempts < 1 {
 		o.MaxAttempts = 4
 	}
+	if o.Batch < 1 {
+		o.Batch = 1
+	}
 	if o.JoinWindow <= 0 {
 		o.JoinWindow = time.Minute
 	}
@@ -150,6 +161,9 @@ type Stats struct {
 	// LeasesRevoked counts leases revoked by death or leave; Reassigned
 	// counts the vertices put back on the ready stack because of it.
 	LeasesRevoked, Reassigned int64
+	// BatchMessages counts multi-vertex task messages sent (zero when
+	// Options.Batch <= 1); TaskBytes is the total task payload volume.
+	BatchMessages, TaskBytes int64
 	// Elapsed is the wall-clock makespan of Run.
 	Elapsed time.Duration
 }

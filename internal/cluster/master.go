@@ -63,7 +63,7 @@ type Master[T any] struct {
 
 	ran                                 atomic.Bool
 	tasks, dispatches, redist, restored atomic.Int64
-	stale                               atomic.Int64
+	stale, batchMsgs, taskBytes         atomic.Int64
 }
 
 // event is one unit of the master's serialized input: a message from a
@@ -242,6 +242,8 @@ func (m *Master[T]) Run(ctx context.Context) (*Result[T], error) {
 			Deaths:          deaths,
 			LeasesRevoked:   revoked,
 			Reassigned:      reassigned,
+			BatchMessages:   m.batchMsgs.Load(),
+			TaskBytes:       m.taskBytes.Load(),
 			Elapsed:         time.Since(start),
 		},
 	}, nil
@@ -416,54 +418,94 @@ func (m *Master[T]) senderLoop(mc *memberConn) {
 			return
 		}
 		for {
-			v, ok := m.disp.Next(mc.id)
-			if !ok {
-				_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
-				return
+			var ids []int32
+			if m.opts.Batch > 1 {
+				var ok bool
+				ids, ok = m.disp.NextBatch(mc.id, m.opts.Batch)
+				if !ok {
+					_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+					return
+				}
+			} else {
+				v, ok := m.disp.Next(mc.id)
+				if !ok {
+					_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+					return
+				}
+				ids = []int32{v}
 			}
 			select {
 			case <-mc.stop:
 				// The member died while this sender waited for work;
-				// hand the vertex back for a live member.
-				m.disp.Requeue(v)
+				// hand the vertices back for a live member.
+				for _, v := range ids {
+					m.disp.Requeue(v)
+				}
 				return
 			default:
 			}
-			if m.dispatch(mc, v) {
+			if m.dispatch(mc, ids) {
 				break
 			}
-			// The vertex finished while queued for redistribution (its
-			// result raced a revocation); take the next one without
+			// Every drawn vertex finished while queued for redistribution
+			// (its result raced a revocation); take the next one without
 			// consuming another idle token.
 		}
 	}
 }
 
-// dispatch leases vertex v to member mc and ships its data region. It
-// returns false when the vertex turned out to be already finished.
-func (m *Master[T]) dispatch(mc *memberConn, v int32) bool {
-	attempt, ok := m.rt.Register(v)
-	if !ok {
+// dispatch leases the drawn vertices to member mc and ships their data
+// regions in one message (a plain task for a single vertex, a task batch
+// for several). Every vertex holds its own lease, so a member death
+// mid-batch revokes and reassigns exactly the undone remainder. It
+// returns false when every vertex turned out to be already finished.
+func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
+	now := time.Now()
+	entries := make([]comm.TaskEntry, 0, len(ids))
+	for _, v := range ids {
+		attempt, ok := m.rt.Register(v)
+		if !ok {
+			continue
+		}
+		deps := m.graph.Vertex(v).DataPre
+		positions := make([]dag.Pos, len(deps))
+		for k, d := range deps {
+			positions[k] = m.geom.PosOf(d)
+		}
+		blocks := m.store.Gather(positions)
+		payload, err := matrix.EncodeBlocks(m.p.Codec, blocks)
+		if err != nil {
+			m.finish(fmt.Errorf("cluster: encoding data region of vertex %d: %w", v, err))
+			return true
+		}
+		m.leases.grant(v, mc.id, attempt)
+		// Batch entries execute sequentially on the member, so entry i's
+		// overtime deadline scales with its position; a healthy deep
+		// entry must not be redistributed just for waiting its turn.
+		m.ot.Add(v, attempt, now.Add(m.opts.TaskTimeout*time.Duration(len(entries)+1)))
+		m.opts.Trace.TaskStart(mc.id, v)
+		m.dispatches.Add(1)
+		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
+	}
+	if len(entries) == 0 {
 		return false
 	}
-	deps := m.graph.Vertex(v).DataPre
-	positions := make([]dag.Pos, len(deps))
-	for k, d := range deps {
-		positions[k] = m.geom.PosOf(d)
+	bytes := 0
+	for _, e := range entries {
+		bytes += len(e.Payload)
 	}
-	blocks := m.store.Gather(positions)
-	payload, err := matrix.EncodeBlocks(m.p.Codec, blocks)
-	if err != nil {
-		m.finish(fmt.Errorf("cluster: encoding data region of vertex %d: %w", v, err))
-		return true
+	m.taskBytes.Add(int64(bytes))
+	m.opts.Trace.Dispatch(mc.id, len(entries), bytes)
+	var msg comm.Message
+	if len(entries) == 1 {
+		msg = comm.Message{Kind: comm.KindTask, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
+	} else {
+		m.batchMsgs.Add(1)
+		msg = comm.Message{Kind: comm.KindTaskBatch, Batch: entries}
 	}
-	m.leases.grant(v, mc.id, attempt)
-	m.ot.Add(v, attempt, time.Now().Add(m.opts.TaskTimeout))
-	m.opts.Trace.TaskStart(mc.id, v)
-	m.dispatches.Add(1)
-	if err := mc.cn.Send(comm.Message{Kind: comm.KindTask, Vertex: v, Attempt: attempt, Payload: payload}); err != nil {
+	if err := mc.cn.Send(msg); err != nil {
 		// The pump (or heartbeat sweep) will revoke this member's
-		// leases, including the one just granted; nothing to unwind.
+		// leases, including the ones just granted; nothing to unwind.
 		select {
 		case m.inbox <- event{member: mc.id, down: true, err: err}:
 		case <-m.done:
@@ -492,8 +534,19 @@ func (m *Master[T]) recvLoop() {
 			case comm.KindLeave:
 				m.memberLeave(ev.member)
 			case comm.KindResult:
-				m.handleResult(ev.member, ev.msg)
-				m.signalIdle(ev.member)
+				m.applyResult(ev.member, ev.msg.Vertex, ev.msg.Attempt, ev.msg.Payload)
+				// More marks a partial flush of a still-executing
+				// batch; the member is not idle yet.
+				if !ev.msg.More {
+					m.signalIdle(ev.member)
+				}
+			case comm.KindResultBatch:
+				for _, e := range ev.msg.Batch {
+					m.applyResult(ev.member, e.Vertex, e.Attempt, e.Payload)
+				}
+				if !ev.msg.More {
+					m.signalIdle(ev.member)
+				}
 			}
 		}
 	}
@@ -524,9 +577,10 @@ func (m *Master[T]) echoHeartbeat(member int) {
 	}
 }
 
-func (m *Master[T]) handleResult(member int, msg comm.Message) {
-	v := msg.Vertex
-	if !m.rt.Accept(v, msg.Attempt) {
+// applyResult commits one computed vertex — the per-vertex core of result
+// handling, shared by the single-result and batched paths.
+func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
+	if !m.rt.Accept(v, attempt) {
 		// A superseded attempt: the vertex was revoked (member declared
 		// dead, or overtime) and reassigned; drop the late answer.
 		m.stale.Add(1)
@@ -534,7 +588,7 @@ func (m *Master[T]) handleResult(member int, msg comm.Message) {
 	}
 	m.ot.Remove(v)
 	m.leases.release(v)
-	blocks, err := matrix.DecodeBlocks(m.p.Codec, msg.Payload)
+	blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
 	if err != nil || len(blocks) != 1 {
 		m.finish(fmt.Errorf("cluster: bad result payload for vertex %d from member %d: %v", v, member, err))
 		return
@@ -544,7 +598,7 @@ func (m *Master[T]) handleResult(member int, msg comm.Message) {
 	m.opts.Trace.TaskEnd(member, v)
 	m.tasks.Add(1)
 	if m.ckpt != nil {
-		if err := m.ckpt.Append(v, msg.Payload); err != nil {
+		if err := m.ckpt.Append(v, payload); err != nil {
 			m.finish(err)
 			return
 		}

@@ -1,0 +1,89 @@
+//go:build soak
+
+package cluster_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestSoakBatchedFaults hammers the batched dispatch path with membership
+// churn: many short elastic runs, each with a randomized batch bound and a
+// randomly chosen mid-run fault (abrupt kill, silent partition, graceful
+// leave) against one of three workers. Every run must converge to the
+// sequential matrix with Tasks equal to the vertex count — a lost vertex
+// hangs the run into RunTimeout, a double-counted one inflates Tasks, and
+// a mis-ordered batch corrupts the matrix. Enable with scripts/ci.sh
+// -soak (build tag "soak").
+func TestSoakBatchedFaults(t *testing.T) {
+	const runs = 200
+	const vertices = 64 // 8x8 processor grid of the shared test problem
+	prob, want, spec := testProblem(t)
+	rng := rand.New(rand.NewSource(1))
+
+	for run := 0; run < runs; run++ {
+		batch := 1 + rng.Intn(8)
+		fault := rng.Intn(3) // 0 kill, 1 partition+heal, 2 leave
+		victim := rng.Intn(3)
+		threshold := 3 + rng.Intn(vertices/2)
+
+		opts := testOptions(spec, 3)
+		opts.Batch = batch
+		faultAt := make(chan struct{})
+		opts.OnProgress = progressTrigger(threshold, faultAt)
+
+		m, err := cluster.NewMaster(prob, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wopts := testWorkerOptions(spec, 50*time.Microsecond)
+		wopts.Run.Batch = batch
+		h := cluster.NewHarness(prob, m.Addr(), wopts)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			<-faultAt
+			switch fault {
+			case 0:
+				h.Kill(victim)
+			case 1:
+				h.Partition(victim)
+				time.Sleep(4 * opts.HeartbeatInterval)
+				h.Heal(victim)
+			case 2:
+				h.Leave(victim)
+			}
+		}()
+
+		type outcome struct {
+			res *cluster.Result[int32]
+			err error
+		}
+		resCh := make(chan outcome, 1)
+		go func() {
+			res, err := m.Run(ctx)
+			resCh <- outcome{res, err}
+		}()
+		for i := 0; i < 3; i++ {
+			if _, err := h.Add(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := <-resCh
+		if out.err != nil {
+			t.Fatalf("run %d (batch=%d fault=%d victim=%d at=%d): %v",
+				run, batch, fault, victim, threshold, out.err)
+		}
+		if out.res.Stats.Tasks != vertices {
+			t.Fatalf("run %d (batch=%d fault=%d): tasks = %d, want %d (lost or double-counted vertex)\nstats: %v",
+				run, batch, fault, out.res.Stats.Tasks, vertices, out.res.Stats)
+		}
+		equalMatrices(t, "soak", out.res.Matrix(), want)
+		cancel()
+		h.Close()
+	}
+}

@@ -155,6 +155,52 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 				}
 				return fmt.Errorf("cluster: member %d sending result of vertex %d: %w", member, msg.Vertex, err)
 			}
+		case comm.KindTaskBatch:
+			// Entries are mutually independent; execute them in order
+			// through the same runner, flushing coalesced results every
+			// flushBound entries. Non-final flushes carry More so the
+			// master does not re-arm this member's sender mid-batch.
+			flushBound := opts.Run.Batch
+			if flushBound < 1 {
+				flushBound = 1
+			}
+			var results []comm.TaskEntry
+			for idx, e := range msg.Batch {
+				if opts.TaskDelay != nil {
+					if d := opts.TaskDelay(); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				out, err := runner.Run(e.Vertex, e.Payload)
+				if err != nil {
+					return fmt.Errorf("cluster: member %d computing vertex %d: %w", member, e.Vertex, err)
+				}
+				results = append(results, comm.TaskEntry{Vertex: e.Vertex, Attempt: e.Attempt, Payload: out})
+				if len(results) >= flushBound && idx < len(msg.Batch)-1 {
+					if err := cn.Send(comm.Message{Kind: comm.KindResultBatch, Batch: results, More: true}); err != nil {
+						if ctx.Err() != nil {
+							return ctx.Err()
+						}
+						return fmt.Errorf("cluster: member %d flushing batch results: %w", member, err)
+					}
+					results = nil
+				}
+			}
+			var final comm.Message
+			switch len(results) {
+			case 0:
+				final = comm.Message{Kind: comm.KindIdle}
+			case 1:
+				final = comm.Message{Kind: comm.KindResult, Vertex: results[0].Vertex, Attempt: results[0].Attempt, Payload: results[0].Payload}
+			default:
+				final = comm.Message{Kind: comm.KindResultBatch, Batch: results}
+			}
+			if err := cn.Send(final); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("cluster: member %d sending batch results: %w", member, err)
+			}
 		case comm.KindHeartbeat:
 			// The master's echo of our beacon; its arrival already reset
 			// the read-idle clock.

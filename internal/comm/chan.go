@@ -77,12 +77,12 @@ func (ep *chanEndpoint) Send(to int, m Message) error {
 	}
 	m.From = ep.rank
 	m.To = to
-	if d := ep.nw.lat.Delay(len(m.Payload)); d > 0 {
+	if d := ep.nw.lat.Delay(m.PayloadLen()); d > 0 {
 		time.Sleep(d)
 	}
 	ep.nw.statsMu.Lock()
 	ep.nw.msgsSent++
-	ep.nw.bytesSent += int64(len(m.Payload))
+	ep.nw.bytesSent += int64(m.PayloadLen())
 	ep.nw.statsMu.Unlock()
 
 	dst := ep.nw.eps[to]

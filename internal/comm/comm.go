@@ -42,6 +42,13 @@ const (
 	// KindLeave announces a graceful departure from an elastic cluster;
 	// the master revokes the member's leases and reassigns its work.
 	KindLeave
+	// KindTaskBatch carries several sub-tasks coalesced into one message
+	// (Batch holds the entries); all of them were computable when the
+	// batch was drained, so they are mutually independent.
+	KindTaskBatch
+	// KindResultBatch carries the coalesced output blocks of a task
+	// batch back to the master (Batch holds the entries).
+	KindResultBatch
 )
 
 func (k Kind) String() string {
@@ -60,8 +67,21 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case KindLeave:
 		return "leave"
+	case KindTaskBatch:
+		return "task-batch"
+	case KindResultBatch:
+		return "result-batch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TaskEntry is one vertex of a batched task or result message: the same
+// (vertex, attempt, payload) triple a KindTask/KindResult message carries
+// in its top-level fields.
+type TaskEntry struct {
+	Vertex  int32
+	Attempt int32
+	Payload []byte
 }
 
 // Message is the envelope exchanged between ranks.
@@ -76,6 +96,23 @@ type Message struct {
 	Attempt int32
 	// Payload is the application body (encoded blocks).
 	Payload []byte
+	// Batch holds the entries of a KindTaskBatch/KindResultBatch message;
+	// nil for every other kind.
+	Batch []TaskEntry
+	// More marks a partial result flush: the sender is still working on
+	// the rest of the current task batch, so the master must not treat
+	// this message as an idle announcement.
+	More bool
+}
+
+// PayloadLen returns the total application payload carried by m, batch
+// entries included — the size the transports account as traffic.
+func (m Message) PayloadLen() int {
+	n := len(m.Payload)
+	for _, e := range m.Batch {
+		n += len(e.Payload)
+	}
+	return n
 }
 
 // ErrClosed is returned by Recv after the transport has been closed and

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -17,8 +18,9 @@ import (
 // History: 0 is the pre-versioning protocol (hello carried only a rank and
 // the master sent no welcome); 1 added the hello/welcome exchange with
 // version and problem-spec digest, heartbeat/leave message kinds, and
-// elastic joins.
-const ProtocolVersion = 1
+// elastic joins; 2 added tagged binary frames for task/result messages
+// and the task-batch/result-batch kinds (see wire.go).
+const ProtocolVersion = 2
 
 // Hello is the first frame on every worker connection: who is joining and
 // what problem it believes the cluster is solving.
@@ -53,11 +55,20 @@ type Welcome struct {
 	Err string
 }
 
-// Conn is one gob-framed message connection: the unit the TCP transport
-// and the elastic cluster layer are both built from. Writes of whole gob
-// values are serialized by a mutex; reads are single-consumer.
+// Conn is one message connection: the unit the TCP transport and the
+// elastic cluster layer are both built from. Hot task/result messages
+// travel as binary frames; the handshake and control messages share a
+// persistent gob stream on the same connection (see wire.go for the
+// framing and why the two cannot be confused). Writes of whole frames
+// are serialized by a mutex; reads are single-consumer.
+//
+// The reader side funnels through one bufio.Reader that implements
+// io.ByteReader: gob then reads from it byte-exactly instead of wrapping
+// the connection in its own over-reading buffer, which is what makes it
+// safe to interleave gob values and raw frames on one stream.
 type Conn struct {
 	c   net.Conn
+	br  *bufio.Reader
 	enc *gob.Encoder
 	dec *gob.Decoder
 	wmu sync.Mutex
@@ -91,7 +102,8 @@ func NewConn(c net.Conn, keepAlive time.Duration) *Conn {
 		_ = tc.SetKeepAlive(true)
 		_ = tc.SetKeepAlivePeriod(keepAlive)
 	}
-	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	br := bufio.NewReader(c)
+	return &Conn{c: c, br: br, enc: gob.NewEncoder(c), dec: gob.NewDecoder(br)}
 }
 
 // SetReadIdle sets the per-Recv idle bound (0 disables). Callers that
@@ -107,7 +119,10 @@ func (cn *Conn) SetWriteTimeout(d time.Duration) { cn.writeTimeout = d }
 // RemoteAddr returns the peer address.
 func (cn *Conn) RemoteAddr() net.Addr { return cn.c.RemoteAddr() }
 
-// Send writes one message frame, honoring the write timeout.
+// Send writes one message frame, honoring the write timeout. Task and
+// result messages are encoded with the binary codec into a pooled buffer
+// and written in a single call; control messages use the persistent gob
+// stream.
 func (cn *Conn) Send(m Message) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
@@ -116,15 +131,36 @@ func (cn *Conn) Send(m Message) error {
 			return err
 		}
 	}
-	return cn.enc.Encode(m)
+	if !binaryKind(m.Kind) {
+		return cn.enc.Encode(m)
+	}
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	frame, err := appendBinaryFrame((*bufp)[:0], m)
+	*bufp = frame[:0]
+	if err != nil {
+		return err
+	}
+	_, err = cn.c.Write(frame)
+	return err
 }
 
-// Recv reads the next message frame, honoring the read-idle bound.
+// Recv reads the next message frame, honoring the read-idle bound. One
+// peeked byte decides the codec: the binary magic can never begin a gob
+// message, so the stream stays self-describing and a peer that falls
+// back to gob for any kind is still understood.
 func (cn *Conn) Recv() (Message, error) {
 	if cn.readIdle > 0 {
 		if err := cn.c.SetReadDeadline(time.Now().Add(cn.readIdle)); err != nil {
 			return Message{}, err
 		}
+	}
+	first, err := cn.br.Peek(1)
+	if err != nil {
+		return Message{}, err
+	}
+	if first[0] == binMagic {
+		return readBinaryFrame(cn.br)
 	}
 	var m Message
 	if err := cn.dec.Decode(&m); err != nil {

@@ -1,0 +1,220 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary wire codec for the task hot path.
+//
+// The runtime's traffic is bimodal: a handful of tiny control messages
+// (idle, end, heartbeat, leave) and a torrent of task/result messages
+// whose payloads are already binary-encoded matrix blocks. Gob-framing
+// the torrent pays reflection plus envelope overhead per message, which
+// at fine block sizes dominates the actual compute. Hot kinds therefore
+// travel as length-prefixed binary frames; control kinds (and, during
+// the handshake, Hello/Welcome) stay on the connection's persistent gob
+// stream, which doubles as the fallback for any kind the binary codec
+// does not cover.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic     u8   0xE5 (never a valid first byte of a gob message:
+//	               gob lengths are either one byte <= 0x7F or start
+//	               with 0xF8..0xFF)
+//	kind      u8   comm.Kind (must be a hot kind)
+//	bodyLen   u32  length of the body that follows
+//	body:
+//	  from      i32
+//	  to        i32
+//	  vertex    i32
+//	  attempt   i32
+//	  flags     u8   bit0 = More
+//	  payLen    u32  top-level payload length, then payload bytes
+//	  nbatch    u32  batch entry count
+//	  entries   nbatch × { vertex i32, attempt i32, len u32, payload }
+//
+// Every length field is validated against the bytes actually present
+// before any allocation proportional to it, so a truncated or corrupted
+// frame yields an error — never a panic, an over-read, or an
+// attacker-sized allocation.
+
+const (
+	// binMagic tags a binary message frame. See the layout comment for
+	// why it cannot collide with the gob stream.
+	binMagic = 0xE5
+
+	// maxFrameBody bounds one frame body (128 MiB). The largest
+	// legitimate frames are max-size task batches of matrix blocks,
+	// comfortably below this; anything bigger is treated as stream
+	// corruption rather than trusted as an allocation hint.
+	maxFrameBody = 1 << 27
+
+	// binFixedHeader is the fixed part of a frame body: from, to,
+	// vertex, attempt (4×i32), flags (u8), payLen (u32), nbatch (u32).
+	binFixedHeader = 4*4 + 1 + 4 + 4
+
+	// binEntryHeader is the fixed part of one batch entry: vertex,
+	// attempt (2×i32) and the payload length (u32).
+	binEntryHeader = 4 + 4 + 4
+)
+
+// binaryKind reports whether k travels as a binary frame. Everything
+// else rides the gob stream.
+func binaryKind(k Kind) bool {
+	switch k {
+	case KindTask, KindResult, KindTaskBatch, KindResultBatch:
+		return true
+	}
+	return false
+}
+
+// frameBufPool recycles encode buffers: one Send encodes the whole frame
+// into a pooled buffer and writes it with a single Write call, so the
+// hot path allocates nothing once the pool is warm.
+var frameBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// readBufPool recycles decode staging buffers. Bodies are copied out of
+// the staging buffer during parsing (payload slices must outlive it), so
+// the buffer returns to the pool at the end of every Recv.
+var readBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// appendBinaryFrame appends the binary frame for m to dst and returns the
+// extended slice. The caller guarantees binaryKind(m.Kind).
+func appendBinaryFrame(dst []byte, m Message) ([]byte, error) {
+	body := binFixedHeader + len(m.Payload) + len(m.Batch)*binEntryHeader
+	for _, e := range m.Batch {
+		body += len(e.Payload)
+	}
+	if body > maxFrameBody {
+		return dst, fmt.Errorf("comm: frame body %d exceeds limit %d", body, maxFrameBody)
+	}
+	var flags byte
+	if m.More {
+		flags |= 1
+	}
+	dst = append(dst, binMagic, byte(m.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Vertex))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Attempt))
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
+	dst = append(dst, m.Payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Batch)))
+	for _, e := range m.Batch {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Vertex))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Attempt))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Payload)))
+		dst = append(dst, e.Payload...)
+	}
+	return dst, nil
+}
+
+// decodeBinaryBody parses one frame body into a Message. Payload bytes
+// are copied out of body, so the caller may recycle it immediately.
+func decodeBinaryBody(kind Kind, body []byte) (Message, error) {
+	if !binaryKind(kind) {
+		return Message{}, fmt.Errorf("comm: binary frame with non-binary kind %v", kind)
+	}
+	if len(body) < binFixedHeader {
+		return Message{}, fmt.Errorf("comm: frame body %d bytes, need at least %d", len(body), binFixedHeader)
+	}
+	m := Message{
+		Kind:    kind,
+		From:    int(int32(binary.LittleEndian.Uint32(body[0:]))),
+		To:      int(int32(binary.LittleEndian.Uint32(body[4:]))),
+		Vertex:  int32(binary.LittleEndian.Uint32(body[8:])),
+		Attempt: int32(binary.LittleEndian.Uint32(body[12:])),
+		More:    body[16]&1 != 0,
+	}
+	rest := body[17:]
+	var payload []byte
+	var err error
+	if payload, rest, err = cutPayload(rest); err != nil {
+		return Message{}, fmt.Errorf("comm: frame payload: %w", err)
+	}
+	m.Payload = payload
+	if len(rest) < 4 {
+		return Message{}, fmt.Errorf("comm: frame truncated before batch count")
+	}
+	nbatch := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	// Each entry occupies at least its fixed header, so a corrupt count
+	// is rejected before it sizes an allocation.
+	if uint64(nbatch)*binEntryHeader > uint64(len(rest)) {
+		return Message{}, fmt.Errorf("comm: batch count %d exceeds frame body", nbatch)
+	}
+	if nbatch > 0 {
+		m.Batch = make([]TaskEntry, nbatch)
+		for i := range m.Batch {
+			m.Batch[i].Vertex = int32(binary.LittleEndian.Uint32(rest[0:]))
+			m.Batch[i].Attempt = int32(binary.LittleEndian.Uint32(rest[4:]))
+			rest = rest[8:]
+			if m.Batch[i].Payload, rest, err = cutPayload(rest); err != nil {
+				return Message{}, fmt.Errorf("comm: batch entry %d: %w", i, err)
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return Message{}, fmt.Errorf("comm: %d trailing bytes after frame", len(rest))
+	}
+	return m, nil
+}
+
+// cutPayload reads a u32-prefixed byte string from b, returning a copy of
+// it and the remainder. The length is checked against the bytes present
+// before the copy is allocated.
+func cutPayload(b []byte) (payload, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, b, fmt.Errorf("truncated length prefix (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n) > uint64(len(b)) {
+		return nil, b, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(b))
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	payload = make([]byte, n)
+	copy(payload, b[:n])
+	return payload, b[n:], nil
+}
+
+// readBinaryFrame reads one binary frame from r, the magic byte already
+// peeked but not consumed. The staging buffer grows with the bytes that
+// actually arrive (io.CopyN, not a bodyLen-sized make), so a corrupt
+// length on a short stream fails without ballooning memory.
+func readBinaryFrame(r io.Reader) (Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != binMagic {
+		return Message{}, fmt.Errorf("comm: bad frame magic %#x", hdr[0])
+	}
+	kind := Kind(hdr[1])
+	bodyLen := binary.LittleEndian.Uint32(hdr[2:])
+	if bodyLen > maxFrameBody {
+		return Message{}, fmt.Errorf("comm: frame body %d exceeds limit %d", bodyLen, maxFrameBody)
+	}
+	buf := readBufPool.Get().(*bytes.Buffer)
+	defer readBufPool.Put(buf)
+	buf.Reset()
+	if _, err := io.CopyN(buf, r, int64(bodyLen)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Message{}, fmt.Errorf("comm: reading frame body: %w", err)
+	}
+	return decodeBinaryBody(kind, buf.Bytes())
+}

@@ -1,0 +1,186 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// sampleMessages covers the binary codec's shapes: bare kinds, zero-length
+// payloads, single-vertex hot messages, batches with empty and non-empty
+// entries, and the More flag.
+func sampleMessages() []Message {
+	return []Message{
+		{Kind: KindTask, From: 0, To: 3, Vertex: 7, Attempt: 1, Payload: []byte("block")},
+		{Kind: KindTask, Vertex: 0, Attempt: 1, Payload: nil}, // zero-length block region
+		{Kind: KindResult, From: 2, Vertex: 9, Attempt: 4, Payload: []byte{0, 0, 0, 0}},
+		{Kind: KindResult, Vertex: 1, Attempt: 1, Payload: []byte{1}, More: true},
+		{Kind: KindTaskBatch, To: 1, Batch: []TaskEntry{
+			{Vertex: 1, Attempt: 1, Payload: []byte("a")},
+			{Vertex: 2, Attempt: 3, Payload: nil},
+			{Vertex: 3, Attempt: 1, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+		}},
+		{Kind: KindResultBatch, From: 5, More: true, Batch: []TaskEntry{
+			{Vertex: 40, Attempt: 2, Payload: []byte("out")},
+		}},
+		{Kind: KindResultBatch, Batch: []TaskEntry{}},
+	}
+}
+
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	for _, want := range sampleMessages() {
+		frame, err := appendBinaryFrame(nil, want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Kind, err)
+		}
+		got, err := readBinaryFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if !equalMessages(got, want) {
+			t.Fatalf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Kind, got, want)
+		}
+	}
+}
+
+// equalMessages compares messages up to nil-vs-empty payload slices (the
+// codec does not distinguish them; neither does any consumer).
+func equalMessages(a, b Message) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.To != b.To ||
+		a.Vertex != b.Vertex || a.Attempt != b.Attempt || a.More != b.More {
+		return false
+	}
+	if !bytes.Equal(a.Payload, b.Payload) || len(a.Batch) != len(b.Batch) {
+		return false
+	}
+	for i := range a.Batch {
+		if a.Batch[i].Vertex != b.Batch[i].Vertex ||
+			a.Batch[i].Attempt != b.Batch[i].Attempt ||
+			!bytes.Equal(a.Batch[i].Payload, b.Batch[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// Every truncation of a valid frame must fail cleanly — no panic, no
+// spurious success.
+func TestBinaryFrameTruncations(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := appendBinaryFrame(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := readBinaryFrame(bytes.NewReader(frame[:cut])); err == nil {
+				t.Fatalf("%v: truncation at %d/%d decoded successfully", m.Kind, cut, len(frame))
+			}
+		}
+	}
+}
+
+// Corrupted length fields must be rejected by bounds checks, not trusted
+// as allocation sizes.
+func TestBinaryFrameCorruptLengths(t *testing.T) {
+	m := Message{Kind: KindTaskBatch, Batch: []TaskEntry{{Vertex: 1, Attempt: 1, Payload: []byte("abc")}}}
+	frame, err := appendBinaryFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	huge := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(huge[2:], maxFrameBody+1) // bodyLen beyond limit
+	if _, err := readBinaryFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized bodyLen accepted")
+	}
+
+	// Corrupt the batch count to a value the body cannot hold.
+	bad := append([]byte(nil), frame...)
+	// body starts at 6; nbatch sits after fixed header minus its own u32.
+	off := 6 + binFixedHeader - 4
+	binary.LittleEndian.PutUint32(bad[off:], 1<<31)
+	if _, err := readBinaryFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("oversized batch count accepted")
+	}
+
+	// Oversized frame on the encode side must refuse, not wrap.
+	big := Message{Kind: KindTask, Payload: make([]byte, maxFrameBody)}
+	if _, err := appendBinaryFrame(nil, big); err == nil {
+		t.Fatal("encoder accepted a frame beyond maxFrameBody")
+	}
+}
+
+// The stream stays self-describing: binary frames and gob control
+// messages interleave on one connection in both directions, after a
+// normal hello/welcome handshake on the same gob stream.
+func TestConnInterleavesBinaryAndGob(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a, -1), NewConn(b, -1)
+
+	go func() {
+		_ = ca.SendHello(Hello{Rank: 1, Version: ProtocolVersion})
+	}()
+	hello, err := cb.RecvHello(time.Second)
+	if err != nil || hello.Rank != 1 {
+		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+	go func() {
+		_ = cb.SendWelcome(Welcome{Version: ProtocolVersion, Member: 1})
+	}()
+	if w, err := ca.RecvWelcome(time.Second); err != nil || w.Member != 1 {
+		t.Fatalf("welcome: %+v, %v", w, err)
+	}
+
+	sent := []Message{
+		{Kind: KindIdle},
+		{Kind: KindTask, Vertex: 3, Attempt: 1, Payload: []byte("data")},
+		{Kind: KindHeartbeat},
+		{Kind: KindTaskBatch, Batch: []TaskEntry{{Vertex: 4, Attempt: 1, Payload: []byte("x")}, {Vertex: 5, Attempt: 2}}},
+		{Kind: KindResultBatch, More: true, Batch: []TaskEntry{{Vertex: 4, Attempt: 1, Payload: []byte("y")}}},
+		{Kind: KindEnd},
+	}
+	errc := make(chan error, 1)
+	go func() {
+		for _, m := range sent {
+			if err := ca.Send(m); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i, want := range sent {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !equalMessages(got, want) {
+			t.Fatalf("recv %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+// recvFromBytes drives the Conn receive path (peek + codec dispatch) over
+// an in-memory stream, for tests that feed it raw bytes.
+func recvFromBytes(data []byte) (Message, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	first, err := br.Peek(1)
+	if err != nil {
+		return Message{}, err
+	}
+	if first[0] == binMagic {
+		return readBinaryFrame(br)
+	}
+	var m Message
+	err = gob.NewDecoder(br).Decode(&m)
+	return m, err
+}

@@ -59,6 +59,40 @@ func (d *affinityDispatcher) Next(w int) (int32, bool) {
 	return id, true
 }
 
+// NextBatch drains up to max of the currently ready vertices for worker w,
+// best-affinity first. Like Dynamic, it takes whatever is computable the
+// moment the first vertex appears — never waiting for the batch to fill.
+func (d *affinityDispatcher) NextBatch(w, max int) ([]int32, bool) {
+	if max < 1 {
+		max = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.ready) == 0 && !d.closed {
+		d.cond.Wait()
+	}
+	if len(d.ready) == 0 {
+		return nil, false
+	}
+	n := len(d.ready)
+	if n > max {
+		n = max
+	}
+	ids := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		best, bestScore := 0, -1
+		for k, v := range d.ready {
+			if s := d.score(w, v); s > bestScore {
+				best, bestScore = k, s
+			}
+		}
+		ids = append(ids, d.ready[best])
+		d.ready[best] = d.ready[len(d.ready)-1]
+		d.ready = d.ready[:len(d.ready)-1]
+	}
+	return ids, true
+}
+
 func (d *affinityDispatcher) Requeue(id int32) { d.Ready(id) }
 
 func (d *affinityDispatcher) ReadyCount() int {

@@ -64,6 +64,17 @@ type Config struct {
 	// policy (block_col in the paper); ignored under PolicyDynamic.
 	// Zero means 1.
 	BCWBlockCols int
+	// Batch bounds how many computable sub-tasks one dispatch message may
+	// carry to a slave. At 1 (the default) the runtime sends the classic
+	// one-task-per-message protocol unchanged. Above 1 the master drains
+	// up to Batch currently-ready vertices into a single task-batch
+	// message — never waiting for the batch to fill, so the DAG frontier
+	// cannot stall — and the slave flushes results back in groups of up
+	// to Batch. Batching amortizes per-message overhead when blocks are
+	// small and the frontier is wide; the fault-tolerance machinery
+	// (register table, overtime queue, redistribution) still operates on
+	// individual vertices.
+	Batch int
 	// TaskTimeout is the processor-level fault-detection timeout: a
 	// sub-task not finished within it is redistributed.
 	TaskTimeout time.Duration
@@ -162,6 +173,9 @@ func (c Config) withDefaults(n dag.Size) (Config, error) {
 	}
 	if c.BCWBlockCols < 1 {
 		c.BCWBlockCols = 1
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
 	}
 	if c.MaxAttempts < 1 {
 		c.MaxAttempts = 4

@@ -198,17 +198,28 @@ func (m *master[T]) senderLoop(s int) {
 			return
 		}
 		for {
-			v, ok := m.disp.Next(worker)
-			if !ok {
-				m.sendEnd(s)
-				return
+			if m.cfg.Batch > 1 {
+				ids, ok := m.disp.NextBatch(worker, m.cfg.Batch)
+				if !ok {
+					m.sendEnd(s)
+					return
+				}
+				if m.dispatchBatch(s, worker, ids) {
+					break
+				}
+			} else {
+				v, ok := m.disp.Next(worker)
+				if !ok {
+					m.sendEnd(s)
+					return
+				}
+				if m.dispatch(s, worker, v) {
+					break
+				}
 			}
-			if m.dispatch(s, worker, v) {
-				break
-			}
-			// The vertex finished while queued for redistribution
-			// (its result raced the timeout); take the next one
-			// without consuming another idle token.
+			// Every drawn vertex finished while queued for
+			// redistribution (its result raced the timeout); take the
+			// next one without consuming another idle token.
 		}
 	}
 }
@@ -217,15 +228,18 @@ func (m *master[T]) sendEnd(s int) {
 	_ = m.tr.Send(s, comm.Message{Kind: comm.KindEnd})
 }
 
-// dispatch sends vertex v to slave s. It returns false when the vertex
-// turned out to be already finished (a redistribution raced its result).
-func (m *master[T]) dispatch(s, worker int, v int32) bool {
+// prepareEntry registers vertex v for slave s and builds its wire entry:
+// attempt stamp plus the encoded missing part of the data region. ok is
+// false when the vertex finished while queued for redistribution (its
+// result raced the timeout) or when encoding failed — the latter also
+// aborts the run through finish, so the caller's dispatcher drains.
+func (m *master[T]) prepareEntry(s, worker int, v int32, deadline time.Time) (comm.TaskEntry, bool) {
 	// Register first: if the vertex finished while queued for
 	// redistribution we must bail out before touching the known-set,
 	// or unsent blocks would be recorded as held by the slave.
 	attempt, ok := m.reg.Register(v)
 	if !ok {
-		return false
+		return comm.TaskEntry{}, false
 	}
 	deps := m.graph.Vertex(v).DataPre
 	if m.known != nil {
@@ -240,15 +254,68 @@ func (m *master[T]) dispatch(s, worker int, v int32) bool {
 	payload, err := matrix.EncodeBlocks(m.p.Codec, blocks)
 	if err != nil {
 		m.finish(fmt.Errorf("core: encoding data region of vertex %d: %w", v, err))
-		return true
+		return comm.TaskEntry{}, false
 	}
-	m.ot.Add(v, attempt, time.Now().Add(m.cfg.TaskTimeout))
+	m.ot.Add(v, attempt, deadline)
 	m.cfg.Trace.TaskStart(worker, v)
 	m.ctrs.dispatches.Add(1)
+	return comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload}, true
+}
+
+// dispatch sends vertex v to slave s. It returns false when the vertex
+// turned out to be already finished (a redistribution raced its result).
+func (m *master[T]) dispatch(s, worker int, v int32) bool {
+	entry, ok := m.prepareEntry(s, worker, v, time.Now().Add(m.cfg.TaskTimeout))
+	if !ok {
+		return false
+	}
+	m.ctrs.taskBytes.Add(int64(len(entry.Payload)))
+	m.cfg.Trace.Dispatch(worker, 1, len(entry.Payload))
 	if err := m.tr.Send(s, comm.Message{
-		Kind: comm.KindTask, Vertex: v, Attempt: attempt, Payload: payload,
+		Kind: comm.KindTask, Vertex: entry.Vertex, Attempt: entry.Attempt, Payload: entry.Payload,
 	}); err != nil && !errors.Is(err, comm.ErrClosed) {
 		m.finish(fmt.Errorf("core: sending task %d to slave %d: %w", v, s, err))
+	}
+	return true
+}
+
+// dispatchBatch ships the drained vertices to slave s in one message. It
+// returns false when every vertex turned out to be already finished, so
+// the caller draws again without consuming another idle token.
+func (m *master[T]) dispatchBatch(s, worker int, ids []int32) bool {
+	now := time.Now()
+	entries := make([]comm.TaskEntry, 0, len(ids))
+	for _, v := range ids {
+		// The slave executes batch entries sequentially, so entry i may
+		// legitimately wait i task-times before starting: its overtime
+		// deadline scales with its position in the batch, or every deep
+		// entry of a healthy batch would be spuriously redistributed.
+		deadline := now.Add(m.cfg.TaskTimeout * time.Duration(len(entries)+1))
+		entry, ok := m.prepareEntry(s, worker, v, deadline)
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry)
+	}
+	if len(entries) == 0 {
+		return false
+	}
+	bytes := 0
+	for _, e := range entries {
+		bytes += len(e.Payload)
+	}
+	m.ctrs.taskBytes.Add(int64(bytes))
+	m.cfg.Trace.Dispatch(worker, len(entries), bytes)
+	var msg comm.Message
+	if len(entries) == 1 {
+		// A batch of one is the classic protocol message, byte for byte.
+		msg = comm.Message{Kind: comm.KindTask, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
+	} else {
+		m.ctrs.batchMessages.Add(1)
+		msg = comm.Message{Kind: comm.KindTaskBatch, Batch: entries}
+	}
+	if err := m.tr.Send(s, msg); err != nil && !errors.Is(err, comm.ErrClosed) {
+		m.finish(fmt.Errorf("core: sending %d-task batch to slave %d: %w", len(entries), s, err))
 	}
 	return true
 }
@@ -266,8 +333,19 @@ func (m *master[T]) recvLoop() {
 		case comm.KindIdle:
 			m.signalIdle(msg.From)
 		case comm.KindResult:
-			m.handleResult(msg)
-			m.signalIdle(msg.From)
+			m.applyResult(msg.From, msg.Vertex, msg.Attempt, msg.Payload)
+			// More marks a partial flush of a still-executing batch:
+			// re-arming the sender now would over-commit the slave.
+			if !msg.More {
+				m.signalIdle(msg.From)
+			}
+		case comm.KindResultBatch:
+			for _, e := range msg.Batch {
+				m.applyResult(msg.From, e.Vertex, e.Attempt, e.Payload)
+			}
+			if !msg.More {
+				m.signalIdle(msg.From)
+			}
 		}
 	}
 }
@@ -299,9 +377,11 @@ func (m *master[T]) filterKnown(s int, deps []int32) []int32 {
 	return out
 }
 
-func (m *master[T]) handleResult(msg comm.Message) {
-	v := msg.Vertex
-	if !m.reg.Accept(v, msg.Attempt) {
+// applyResult commits one computed vertex: register-table acceptance,
+// store update, checkpoint append, DAG completion. It is the per-vertex
+// core of result handling, shared by the single-result and batched paths.
+func (m *master[T]) applyResult(from int, v, attempt int32, payload []byte) {
+	if !m.reg.Accept(v, attempt) {
 		// A late answer for a superseded attempt (§V.B step g): the
 		// registration was cancelled on timeout, so the result is
 		// dropped.
@@ -309,22 +389,22 @@ func (m *master[T]) handleResult(msg comm.Message) {
 		return
 	}
 	m.ot.Remove(v)
-	blocks, err := matrix.DecodeBlocks(m.p.Codec, msg.Payload)
+	blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
 	if err != nil || len(blocks) != 1 {
-		m.finish(fmt.Errorf("core: bad result payload for vertex %d from slave %d: %v", v, msg.From, err))
+		m.finish(fmt.Errorf("core: bad result payload for vertex %d from slave %d: %v", v, from, err))
 		return
 	}
 	m.store.Put(m.geom.PosOf(v), blocks[0])
-	if m.known != nil && msg.From >= 1 && msg.From < len(m.known) {
+	if m.known != nil && from >= 1 && from < len(m.known) {
 		// The computing slave now holds its own output block.
 		m.knownMu.Lock()
-		m.known[msg.From][v] = true
+		m.known[from][v] = true
 		m.knownMu.Unlock()
 	}
-	m.cfg.Trace.TaskEnd(msg.From-1, v)
+	m.cfg.Trace.TaskEnd(from-1, v)
 	m.ctrs.tasks.Add(1)
 	if m.ckpt != nil {
-		if err := m.ckpt.Append(v, msg.Payload); err != nil {
+		if err := m.ckpt.Append(v, payload); err != nil {
 			m.finish(err)
 			return
 		}

@@ -65,6 +65,66 @@ func runSlave[T any](p Problem[T], cfg Config, tr comm.Transport, faults *faultS
 			}); err != nil {
 				return nil
 			}
+		case comm.KindTaskBatch:
+			// Entries are mutually independent (the master draws them all
+			// from one ready set), so they execute sequentially through
+			// the same per-vertex path, with results coalesced and
+			// flushed every cfg.Batch entries. Non-final flushes carry
+			// More so the master does not re-arm this slave's sender
+			// while the batch is still executing.
+			flushBound := cfg.Batch
+			if flushBound < 1 {
+				flushBound = 1
+			}
+			var results []comm.TaskEntry
+			for idx, e := range msg.Batch {
+				if faults.crashNow(rank) {
+					// Injected node failure mid-batch: results not yet
+					// flushed are lost with the node.
+					return nil
+				}
+				if d := faults.stallTask(e.Vertex); d > 0 {
+					time.Sleep(d)
+				}
+				inputs, err := matrix.DecodeBlocks(p.Codec, e.Payload)
+				if err != nil {
+					return fmt.Errorf("core: slave %d decoding task %d: %w", rank, e.Vertex, err)
+				}
+				if cfg.DeltaShipping {
+					cache = append(cache, inputs...)
+					inputs = cache
+				}
+				rect := geom.Rect(geom.PosOf(e.Vertex))
+				out := computeBlock(p, cfg, rect, inputs, faults, e.Vertex, ctrs)
+				if cfg.DeltaShipping {
+					cache = append(cache, out)
+				}
+				payload, err := matrix.EncodeBlocks(p.Codec, []*matrix.Block[T]{out})
+				if err != nil {
+					return fmt.Errorf("core: slave %d encoding result %d: %w", rank, e.Vertex, err)
+				}
+				results = append(results, comm.TaskEntry{Vertex: e.Vertex, Attempt: e.Attempt, Payload: payload})
+				if len(results) >= flushBound && idx < len(msg.Batch)-1 {
+					if err := tr.Send(0, comm.Message{Kind: comm.KindResultBatch, Batch: results, More: true}); err != nil {
+						return nil
+					}
+					results = nil
+				}
+			}
+			var final comm.Message
+			switch len(results) {
+			case 0:
+				// Nothing left to flush (an empty batch, which the master
+				// never sends): announce idleness so the sender re-arms.
+				final = comm.Message{Kind: comm.KindIdle}
+			case 1:
+				final = comm.Message{Kind: comm.KindResult, Vertex: results[0].Vertex, Attempt: results[0].Attempt, Payload: results[0].Payload}
+			default:
+				final = comm.Message{Kind: comm.KindResultBatch, Batch: results}
+			}
+			if err := tr.Send(0, final); err != nil {
+				return nil
+			}
 		}
 	}
 }

@@ -38,6 +38,14 @@ type Stats struct {
 	// slaves and blocks skipped because the slave already held them
 	// (delta shipping).
 	BlocksShipped, BlocksSkipped int64
+	// BatchMessages counts multi-vertex task-batch messages sent to
+	// slaves (zero when Config.Batch <= 1); Dispatches keeps counting
+	// individual vertices, so Dispatches/BatchMessages is the realized
+	// mean batch size of the batched portion of the dispatch stream.
+	BatchMessages int64
+	// TaskBytes is the total payload bytes of task messages sent to
+	// slaves (both per-vertex and batched), before transport framing.
+	TaskBytes int64
 	// Messages and PayloadBytes are the transport traffic totals
 	// (in-process runs only).
 	Messages, PayloadBytes int64
@@ -57,6 +65,7 @@ type counters struct {
 	subTasks, subRequeues, workerRestarts            atomic.Int64
 	blocksReclaimed, peakBlocks, restored            atomic.Int64
 	blocksShipped, blocksSkipped                     atomic.Int64
+	batchMessages, taskBytes                         atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -73,6 +82,8 @@ func (c *counters) snapshot() Stats {
 		Restored:        c.restored.Load(),
 		BlocksShipped:   c.blocksShipped.Load(),
 		BlocksSkipped:   c.blocksSkipped.Load(),
+		BatchMessages:   c.batchMessages.Load(),
+		TaskBytes:       c.taskBytes.Load(),
 	}
 }
 

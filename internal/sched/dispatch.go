@@ -18,6 +18,13 @@ type Dispatcher interface {
 	// Next blocks until a vertex is available for worker w; ok is false
 	// when the dispatcher has been closed.
 	Next(w int) (id int32, ok bool)
+	// NextBatch blocks like Next, then drains up to max vertices that
+	// are computable for worker w *right now* into one batch. It never
+	// waits for the batch to fill: whatever is ready when the first
+	// vertex becomes available is taken, so the DAG frontier cannot
+	// stall behind a partial batch (flush-on-idle). max < 1 is treated
+	// as 1. ok is false when the dispatcher has been closed.
+	NextBatch(w, max int) (ids []int32, ok bool)
 	// Requeue returns a dispatched vertex to the pool after a timeout so
 	// it can be executed again.
 	Requeue(id int32)
@@ -67,6 +74,32 @@ func (d *Dynamic) Next(w int) (int32, bool) {
 	id := d.stack[len(d.stack)-1]
 	d.stack = d.stack[:len(d.stack)-1]
 	return id, true
+}
+
+func (d *Dynamic) NextBatch(w, max int) ([]int32, bool) {
+	if max < 1 {
+		max = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.stack) == 0 && !d.closed {
+		d.cond.Wait()
+	}
+	if len(d.stack) == 0 {
+		return nil, false
+	}
+	n := len(d.stack)
+	if n > max {
+		n = max
+	}
+	// Pop from the stack top, preserving LIFO order within the batch so
+	// batch == per-vertex dispatch order for a single worker.
+	ids := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, d.stack[len(d.stack)-1])
+		d.stack = d.stack[:len(d.stack)-1]
+	}
+	return ids, true
 }
 
 func (d *Dynamic) Requeue(id int32) { d.Ready(id) }
@@ -203,6 +236,34 @@ func (b *BlockCyclic) Next(w int) (int32, bool) {
 			delete(b.ready, head)
 			b.queues[w] = b.queues[w][1:]
 			return head, true
+		}
+		b.cond.Wait()
+	}
+}
+
+// NextBatch drains the longest ready prefix of worker w's static queue, up
+// to max vertices. Only consecutive ready heads may travel together: the
+// static wavefront order is the dependency order within one worker, so a
+// non-ready head fences everything behind it.
+func (b *BlockCyclic) NextBatch(w, max int) ([]int32, bool) {
+	if max < 1 {
+		max = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed || len(b.queues[w]) == 0 {
+			return nil, false
+		}
+		if b.ready[b.queues[w][0]] {
+			var ids []int32
+			for len(ids) < max && len(b.queues[w]) > 0 && b.ready[b.queues[w][0]] {
+				head := b.queues[w][0]
+				delete(b.ready, head)
+				b.queues[w] = b.queues[w][1:]
+				ids = append(ids, head)
+			}
+			return ids, true
 		}
 		b.cond.Wait()
 	}

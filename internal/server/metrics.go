@@ -28,11 +28,14 @@ type metrics struct {
 	final   map[State]int64
 
 	// Run totals accumulated from completed runs' core.Stats.
-	tasks    atomic.Int64
-	subTasks atomic.Int64
-	redist   atomic.Int64
-	messages atomic.Int64
-	payload  atomic.Int64
+	tasks      atomic.Int64
+	subTasks   atomic.Int64
+	redist     atomic.Int64
+	messages   atomic.Int64
+	payload    atomic.Int64
+	dispatches atomic.Int64
+	batchMsgs  atomic.Int64
+	taskBytes  atomic.Int64
 
 	// Per-job latency histogram over jobs that actually ran.
 	histMu    sync.Mutex
@@ -72,6 +75,9 @@ func (x *metrics) addRunStats(s core.Stats) {
 	x.redist.Add(s.Redistributions)
 	x.messages.Add(s.Messages)
 	x.payload.Add(s.PayloadBytes)
+	x.dispatches.Add(s.Dispatches)
+	x.batchMsgs.Add(s.BatchMessages)
+	x.taskBytes.Add(s.TaskBytes)
 }
 
 // SetClusterStats attaches an elastic-cluster snapshot source (typically
@@ -122,6 +128,24 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP easyhps_redistributions_total Processor-level timeout recoveries across all runs.\n# TYPE easyhps_redistributions_total counter\neasyhps_redistributions_total %d\n", x.redist.Load())
 	fmt.Fprintf(w, "# HELP easyhps_messages_total Transport messages across all runs.\n# TYPE easyhps_messages_total counter\neasyhps_messages_total %d\n", x.messages.Load())
 	fmt.Fprintf(w, "# HELP easyhps_payload_bytes_total Transport payload bytes across all runs.\n# TYPE easyhps_payload_bytes_total counter\neasyhps_payload_bytes_total %d\n", x.payload.Load())
+
+	dispatches, batchMsgs, taskBytes := x.dispatches.Load(), x.batchMsgs.Load(), x.taskBytes.Load()
+	fmt.Fprintf(w, "# HELP easyhps_dispatches_total Vertices dispatched to workers across all runs.\n# TYPE easyhps_dispatches_total counter\neasyhps_dispatches_total %d\n", dispatches)
+	fmt.Fprintf(w, "# HELP easyhps_batch_messages_total Multi-vertex task-batch messages sent across all runs.\n# TYPE easyhps_batch_messages_total counter\neasyhps_batch_messages_total %d\n", batchMsgs)
+	fmt.Fprintf(w, "# HELP easyhps_task_payload_bytes_total Task payload bytes shipped to workers across all runs.\n# TYPE easyhps_task_payload_bytes_total counter\neasyhps_task_payload_bytes_total %d\n", taskBytes)
+	// Derived gauges for dashboards: an upper bound on the realized batch
+	// size (vertices over batch messages; exact when every message is a
+	// batch) and payload bytes per dispatched vertex.
+	if batchMsgs > 0 {
+		fmt.Fprintf(w, "# HELP easyhps_dispatch_batch_size Mean vertices per task-batch message across all runs.\n# TYPE easyhps_dispatch_batch_size gauge\neasyhps_dispatch_batch_size %.3f\n", float64(dispatches)/float64(batchMsgs))
+	} else {
+		fmt.Fprintf(w, "# HELP easyhps_dispatch_batch_size Mean vertices per task-batch message across all runs.\n# TYPE easyhps_dispatch_batch_size gauge\neasyhps_dispatch_batch_size 1\n")
+	}
+	if dispatches > 0 {
+		fmt.Fprintf(w, "# HELP easyhps_dispatch_bytes_per_vertex Mean task payload bytes per dispatched vertex across all runs.\n# TYPE easyhps_dispatch_bytes_per_vertex gauge\neasyhps_dispatch_bytes_per_vertex %.1f\n", float64(taskBytes)/float64(dispatches))
+	} else {
+		fmt.Fprintf(w, "# HELP easyhps_dispatch_bytes_per_vertex Mean task payload bytes per dispatched vertex across all runs.\n# TYPE easyhps_dispatch_bytes_per_vertex gauge\neasyhps_dispatch_bytes_per_vertex 0\n")
+	}
 
 	m.clusterMu.Lock()
 	clusterFn := m.clusterStats

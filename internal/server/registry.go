@@ -61,6 +61,8 @@ type RunStats struct {
 	Redistributions int64   `json:"redistributions"`
 	Messages        int64   `json:"messages"`
 	PayloadBytes    int64   `json:"payload_bytes"`
+	BatchMessages   int64   `json:"batch_messages,omitempty"`
+	TaskBytes       int64   `json:"task_bytes,omitempty"`
 	ElapsedSeconds  float64 `json:"elapsed_seconds"`
 }
 
@@ -72,6 +74,8 @@ func projectStats(s core.Stats) RunStats {
 		Redistributions: s.Redistributions,
 		Messages:        s.Messages,
 		PayloadBytes:    s.PayloadBytes,
+		BatchMessages:   s.BatchMessages,
+		TaskBytes:       s.TaskBytes,
 		ElapsedSeconds:  s.Elapsed.Seconds(),
 	}
 }

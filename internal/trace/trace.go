@@ -23,6 +23,10 @@ const (
 	// dead, left) of an elastic worker; Worker carries the member id and
 	// Label the new state.
 	EvMember
+	// EvDispatch records one task message leaving the master: Ready
+	// carries the number of vertices in the message (1 for the classic
+	// per-vertex protocol, >1 for a batch) and Bytes its payload size.
+	EvDispatch
 )
 
 // Event is one recorded scheduling event.
@@ -31,7 +35,8 @@ type Event struct {
 	Kind   EventKind
 	Worker int
 	Vertex int32
-	Ready  int    // ready-set size, for EvReady
+	Ready  int    // ready-set size for EvReady; batch size for EvDispatch
+	Bytes  int    // payload bytes, for EvDispatch
 	Label  string // membership state, for EvMember
 }
 
@@ -66,6 +71,12 @@ func (r *Recorder) TaskEnd(w int, v int32) { r.add(Event{Kind: EvEnd, Worker: w,
 
 // Ready records the current size of the computable set.
 func (r *Recorder) Ready(n int) { r.add(Event{Kind: EvReady, Ready: n}) }
+
+// Dispatch records one task message to worker w carrying vertices vertices
+// and bytes payload bytes.
+func (r *Recorder) Dispatch(w, vertices, bytes int) {
+	r.add(Event{Kind: EvDispatch, Worker: w, Ready: vertices, Bytes: bytes})
+}
 
 // Member records a membership transition of elastic worker id (states:
 // "active", "suspect", "dead", "left").
@@ -111,6 +122,20 @@ type Summary struct {
 	// situation the paper calls BCW's fatal flaw, which "never happens"
 	// under the dynamic pool (up to dispatch latency).
 	IdleWhileReady time.Duration
+	// DispatchMessages and DispatchVertices count task messages and the
+	// vertices they carried; their ratio is the realized mean batch size.
+	DispatchMessages, DispatchVertices int
+	// DispatchBytes is the total task payload volume.
+	DispatchBytes int64
+}
+
+// MeanBatchSize returns the realized vertices-per-message ratio of the
+// dispatch stream (0 when no dispatches were recorded).
+func (s Summary) MeanBatchSize() float64 {
+	if s.DispatchMessages == 0 {
+		return 0
+	}
+	return float64(s.DispatchVertices) / float64(s.DispatchMessages)
 }
 
 // Utilization returns the mean busy fraction across workers.
@@ -171,6 +196,10 @@ func (r *Recorder) Summarize() Summary {
 			}
 		case EvReady:
 			ready = e.Ready
+		case EvDispatch:
+			s.DispatchMessages++
+			s.DispatchVertices += e.Ready
+			s.DispatchBytes += int64(e.Bytes)
 		}
 		if e.T > s.Makespan {
 			s.Makespan = e.T
