@@ -51,6 +51,8 @@ func main() {
 		hb         = flag.Duration("hb", 250*time.Millisecond, "elastic: heartbeat interval")
 		hbMiss     = flag.Int("hb-miss", 3, "elastic: silent heartbeat intervals before a member is declared dead")
 		ckpt       = flag.String("checkpoint", "", "elastic: checkpoint file (resumes from it when present)")
+		speculate  = flag.Bool("speculate", false, "elastic: dispatch speculative backups for straggling vertices (first result wins)")
+		steal      = flag.Bool("steal", false, "elastic: steal queued backlog for workers that announce hunger (pair with worker -steal)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 			JoinWindow:        *wait,
 			CheckpointPath:    *ckpt,
 			Batch:             *batch,
+			Speculate:         *speculate,
+			Steal:             *steal,
 			RunTimeout:        15 * time.Minute,
 		})
 		fatal(err)

@@ -35,6 +35,8 @@ func main() {
 		thread  = flag.Int("thread", 0, "thread_partition_size (default proc/4)")
 		policy  = flag.String("policy", "dynamic", "scheduling policy: dynamic or bcw")
 		batch   = flag.Int("batch", 1, "max ready vertices per task message (1 = classic per-vertex protocol)")
+		spec    = flag.Bool("speculate", false, "dispatch speculative backups for straggling sub-tasks (first result wins)")
+		steal   = flag.Bool("steal", false, "rebalance queued batch backlog toward starved slaves")
 		verbose = flag.Bool("v", false, "print runtime statistics")
 		gantt   = flag.Bool("gantt", false, "print a per-slave execution timeline")
 		fasta   = flag.String("fasta", "", "align the first two records of this FASTA file (swgg/editdist/lcs)")
@@ -45,6 +47,8 @@ func main() {
 		Slaves:     *slaves,
 		Threads:    *threads,
 		Batch:      *batch,
+		Speculate:  *spec,
+		Steal:      *steal,
 		RunTimeout: 15 * time.Minute,
 	}
 	if *proc > 0 {

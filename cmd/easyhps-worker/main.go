@@ -45,6 +45,7 @@ func main() {
 		name    = flag.String("name", "", "elastic: member name in the master's logs and metrics")
 		hb      = flag.Duration("hb", 250*time.Millisecond, "elastic: heartbeat interval (must match the master)")
 		hbMiss  = flag.Int("hb-miss", 3, "elastic: silent intervals before giving the master up for dead")
+		steal   = flag.Bool("steal", false, "elastic: announce hunger when idle so the master steals backlog this way (pair with master -steal)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		fmt.Printf("joining elastic cluster at %s (spec %s) with %d threads\n", *addr, spec.Digest(), *threads)
-		err := cluster.RunWorker(ctx, prob, cluster.WorkerOptions{
+		opts := cluster.WorkerOptions{
 			Addr:              *addr,
 			Spec:              spec,
 			Name:              *name,
@@ -71,7 +72,14 @@ func main() {
 			HeartbeatMiss:     *hbMiss,
 			DialTimeout:       *wait,
 			Run:               core.Config{Threads: *threads, Batch: *batch},
-		})
+		}
+		if *steal {
+			// Announce hunger after two silent heartbeat intervals: long
+			// enough to prove the pool has really drained, short enough to
+			// claim backlog well before a straggling peer finishes it.
+			opts.HungerAfter = 2 * *hb
+		}
+		err := cluster.RunWorker(ctx, prob, opts)
 		if err == context.Canceled {
 			fmt.Println("worker left the cluster")
 			return

@@ -6,6 +6,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dp"
 )
 
 // BenchmarkElasticRecovery measures the cost of elasticity: the "healthy"
@@ -58,4 +61,67 @@ func BenchmarkElasticRecovery(b *testing.B) {
 	}
 	b.Run("healthy", func(b *testing.B) { run(b, false) })
 	b.Run("kill-1-of-4", func(b *testing.B) { run(b, true) })
+}
+
+// swggBench is the Smith-Waterman instance for the straggler benchmark:
+// an 8x8 processor grid whose narrow wavefront makes a slow worker gate
+// whole diagonals.
+func swggBench(tb testing.TB) (core.Problem[int32], cluster.Spec) {
+	a := dp.RandomDNA(64, 61)
+	b := dp.MutateSeq(a, dp.DNAAlphabet, 0.3, 62)
+	s := dp.NewSWGG(a, b)
+	spec := cluster.Spec{App: "swgg", N: 64, Seed: 61, Proc: dag.Square(8), Thread: dag.Square(4)}
+	return s.Problem(), spec
+}
+
+// BenchmarkStragglerSpeculation measures the scenario speculation exists
+// for, on the SW kernel: four workers, one slowed ~10x per task by the
+// proxy harness. With speculation off every wavefront diagonal the slow
+// worker touches stalls behind it; with it on, backups race past the
+// straggler. The spec-off/spec-on ns-per-op ratio is the makespan
+// improvement recorded in EXPERIMENTS.md.
+func BenchmarkStragglerSpeculation(b *testing.B) {
+	run := func(b *testing.B, speculate bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prob, spec := swggBench(b)
+			opts := testOptions(spec, 4)
+			opts.Speculate = speculate
+			opts.CheckInterval = 10 * time.Millisecond
+			m, err := cluster.NewMaster(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// 64 cells x 100µs ≈ 6.4ms of emulated work per vertex; the
+			// 60ms proxy delay makes worker 0 roughly 10x slower.
+			h := cluster.NewHarness(prob, m.Addr(), testWorkerOptions(spec, 100*time.Microsecond))
+			ctx, cancel := context.WithCancel(context.Background())
+			resCh := make(chan error, 1)
+			b.StartTimer()
+			go func() {
+				_, err := m.Run(ctx)
+				resCh <- err
+			}()
+			// Slow worker 0 before the quorum completes, so it straggles
+			// from its first task on.
+			if _, err := h.Add(ctx); err != nil {
+				b.Fatal(err)
+			}
+			h.Slow(0, 60*time.Millisecond)
+			for w := 1; w < 4; w++ {
+				if _, err := h.Add(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-resCh; err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			h.Close()
+			cancel()
+			b.StartTimer()
+		}
+	}
+	b.Run("spec-off", func(b *testing.B) { run(b, false) })
+	b.Run("spec-on", func(b *testing.B) { run(b, true) })
 }

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -102,6 +103,34 @@ type Options struct {
 	// JoinWindow bounds how long Run waits for the MinWorkers quorum
 	// (default 1 minute).
 	JoinWindow time.Duration
+	// Speculate enables speculative re-execution: when an in-flight
+	// vertex runs longer than a high quantile of the kernel's observed
+	// runtimes (see SpecQuantile/SpecMultiplier), a backup attempt is
+	// dispatched to an idle member and whichever result arrives first
+	// wins; the loser is dropped by attempt stamp.
+	Speculate bool
+	// SpecQuantile is the runtime-profile quantile an attempt must
+	// outlive to become a speculation candidate (default 0.95).
+	SpecQuantile float64
+	// SpecMultiplier scales the quantile into the age threshold
+	// (default 2: "twice the p95 runtime").
+	SpecMultiplier float64
+	// SpecMinSamples is how many completed vertices must be observed
+	// before speculation arms (default 8) — backing up half the first
+	// wave off a cold profile would only add load.
+	SpecMinSamples int
+	// SpecFloor is the minimum age threshold (default CheckInterval),
+	// keeping sub-tick kernels from speculating on scheduling jitter.
+	SpecFloor time.Duration
+	// Steal enables idle work stealing: a worker that announces hunger
+	// (its pool drained for a while) is fed queued-but-undispatched
+	// batch entries revoked from the most loaded member's backlog.
+	Steal bool
+	// Clock is the time source for the deadline machinery — heartbeat
+	// stamps and sweeps, lease grants, overtime deadlines, speculation
+	// ages and the control-loop tick. Nil means the wall clock; tests
+	// inject a sched.FakeClock and advance it instead of sleeping.
+	Clock sched.Clock
 	// CheckpointPath, when non-empty, persists completed vertices to
 	// this file and resumes from its clean prefix on start.
 	CheckpointPath string
@@ -139,6 +168,21 @@ func (o Options) withDefaults() Options {
 	if o.JoinWindow <= 0 {
 		o.JoinWindow = time.Minute
 	}
+	if o.SpecQuantile <= 0 || o.SpecQuantile > 1 {
+		o.SpecQuantile = 0.95
+	}
+	if o.SpecMultiplier <= 1 {
+		o.SpecMultiplier = 2
+	}
+	if o.SpecMinSamples < 1 {
+		o.SpecMinSamples = 8
+	}
+	if o.SpecFloor <= 0 {
+		o.SpecFloor = o.CheckInterval
+	}
+	if o.Clock == nil {
+		o.Clock = sched.Wall
+	}
 	return o
 }
 
@@ -164,14 +208,26 @@ type Stats struct {
 	// BatchMessages counts multi-vertex task messages sent (zero when
 	// Options.Batch <= 1); TaskBytes is the total task payload volume.
 	BatchMessages, TaskBytes int64
+	// Speculated counts backup attempts dispatched; SpecWon of those,
+	// how many beat the original; SpecWasted, how many were beaten,
+	// cancelled or revoked (the overhead side of the bet).
+	Speculated, SpecWon, SpecWasted int64
+	// Steals counts queued-but-undispatched vertices revoked from a
+	// loaded member's backlog and requeued toward a hungry one.
+	Steals int64
+	// Leaked is the number of register-table plus lease entries still
+	// live when the run finished; always zero for a clean run (asserted
+	// by the fault soak).
+	Leaked int64
 	// Elapsed is the wall-clock makespan of Run.
 	Elapsed time.Duration
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("tasks=%d dispatches=%d redist=%d restored=%d stale=%d joins=%d leaves=%d deaths=%d revoked=%d reassigned=%d elapsed=%v",
+	return fmt.Sprintf("tasks=%d dispatches=%d redist=%d restored=%d stale=%d joins=%d leaves=%d deaths=%d revoked=%d reassigned=%d spec=%d/%d/%d steals=%d elapsed=%v",
 		s.Tasks, s.Dispatches, s.Redistributions, s.Restored, s.StaleResults,
-		s.Joins, s.Leaves, s.Deaths, s.LeasesRevoked, s.Reassigned, s.Elapsed)
+		s.Joins, s.Leaves, s.Deaths, s.LeasesRevoked, s.Reassigned,
+		s.Speculated, s.SpecWon, s.SpecWasted, s.Steals, s.Elapsed)
 }
 
 // Result of an elastic run: the completed blocked matrix plus statistics.
@@ -190,4 +246,8 @@ type Snapshot struct {
 	States map[string]int
 	// Joins, Leaves, Deaths, LeasesRevoked mirror Stats, cumulatively.
 	Joins, Leaves, Deaths, LeasesRevoked int64
+	// Speculated, SpecWon, SpecWasted and Steals mirror the straggler-
+	// mitigation counters of Stats, cumulatively (zero when read from a
+	// bare Registry — populate them via Master.Snapshot).
+	Speculated, SpecWon, SpecWasted, Steals int64
 }

@@ -1,101 +1,84 @@
 package cluster
 
 import (
-	"sync"
 	"time"
+
+	"repro/internal/sched"
 )
 
-// Lease binds one dispatched DAG vertex to one member incarnation for one
-// attempt. It is the unit of work-loss accounting: when the member dies
-// or leaves, every lease it holds is revoked and the vertices go back on
-// the ready stack. Timeout expiry (the overtime queue) and result
-// acceptance (the register table) release leases individually.
-type Lease struct {
-	Vertex  int32
-	Member  int
-	Attempt int32
-	Granted time.Time
-}
+// Lease binds one dispatched attempt of a DAG vertex to one member
+// incarnation. It is the unit of work-loss accounting: when the member
+// dies or leaves, every lease it holds is revoked and the uncovered
+// vertices go back on the ready stack. Timeout expiry (the overtime
+// queue) and result acceptance (the register table) release leases
+// individually. Lease.Worker carries the member id.
+//
+// Since the straggler-mitigation work the table is sched.LeaseTable —
+// shared with the fixed master — and a vertex may hold several
+// concurrent leases: the original attempt plus a speculative backup.
+type Lease = sched.Lease
 
-// leaseTable indexes live leases by vertex and by member.
+// leaseTable adapts sched.LeaseTable to the master's clock so grant
+// stamps and age queries follow the injectable time source.
 type leaseTable struct {
-	mu       sync.Mutex
-	byVertex map[int32]Lease
-	byMember map[int]map[int32]struct{}
+	t     *sched.LeaseTable
+	clock sched.Clock
 }
 
-func newLeaseTable() *leaseTable {
-	return &leaseTable{
-		byVertex: make(map[int32]Lease),
-		byMember: make(map[int]map[int32]struct{}),
+func newLeaseTable(clock sched.Clock) *leaseTable {
+	if clock == nil {
+		clock = sched.Wall
 	}
+	return &leaseTable{t: sched.NewLeaseTable(), clock: clock}
 }
 
 // grant records a lease for vertex v held by member with the given
 // attempt, superseding any prior lease on v (a redistribution).
 func (t *leaseTable) grant(v int32, member int, attempt int32) {
-	t.mu.Lock()
-	if old, ok := t.byVertex[v]; ok {
-		if set := t.byMember[old.Member]; set != nil {
-			delete(set, v)
-		}
-	}
-	t.byVertex[v] = Lease{Vertex: v, Member: member, Attempt: attempt, Granted: time.Now()}
-	set := t.byMember[member]
-	if set == nil {
-		set = make(map[int32]struct{})
-		t.byMember[member] = set
-	}
-	set[v] = struct{}{}
-	t.mu.Unlock()
+	t.t.Grant(v, member, attempt, t.clock.Now())
 }
 
-// release drops the lease on vertex v (result accepted, or overtime
-// expiry superseding it) and returns it.
-func (t *leaseTable) release(v int32) (Lease, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	l, ok := t.byVertex[v]
-	if !ok {
-		return Lease{}, false
-	}
-	delete(t.byVertex, v)
-	if set := t.byMember[l.Member]; set != nil {
-		delete(set, v)
-	}
-	return l, true
+// add records a concurrent speculative lease on v without superseding
+// the original.
+func (t *leaseTable) add(v int32, member int, attempt int32) {
+	t.t.Add(v, member, attempt, t.clock.Now())
+}
+
+// release drops every lease on vertex v (result accepted — winner and
+// speculative losers retire together) and returns them.
+func (t *leaseTable) release(v int32) []Lease { return t.t.Release(v) }
+
+// releaseAttempt drops the single lease (v, attempt), leaving any
+// concurrent leases intact.
+func (t *leaseTable) releaseAttempt(v, attempt int32) (Lease, bool) {
+	return t.t.ReleaseAttempt(v, attempt)
 }
 
 // revokeMember drops every lease held by member and returns them — the
-// vertices the master must reassign.
-func (t *leaseTable) revokeMember(member int) []Lease {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	set := t.byMember[member]
-	if len(set) == 0 {
-		delete(t.byMember, member)
-		return nil
-	}
-	out := make([]Lease, 0, len(set))
-	for v := range set {
-		out = append(out, t.byVertex[v])
-		delete(t.byVertex, v)
-	}
-	delete(t.byMember, member)
-	return out
-}
+// attempts the master must cancel (and requeue where no concurrent
+// attempt survives).
+func (t *leaseTable) revokeMember(member int) []Lease { return t.t.RevokeWorker(member) }
 
-// holder reports the live lease on vertex v, if any.
-func (t *leaseTable) holder(v int32) (Lease, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	l, ok := t.byVertex[v]
-	return l, ok
-}
+// holders reports the live leases on vertex v.
+func (t *leaseTable) holders(v int32) []Lease { return t.t.Holders(v) }
+
+// find returns the lease (v, attempt), if live.
+func (t *leaseTable) find(v, attempt int32) (Lease, bool) { return t.t.Find(v, attempt) }
 
 // len returns the number of live leases.
-func (t *leaseTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.byVertex)
+func (t *leaseTable) len() int { return t.t.Len() }
+
+// olderThan returns the leases that have been running longer than age on
+// the table's clock — the speculation candidates — oldest first.
+func (t *leaseTable) olderThan(age time.Duration) []Lease {
+	return t.t.OlderThan(t.clock.Now().Add(-age))
 }
+
+// loads returns per-member lease counts for members holding work.
+func (t *leaseTable) loads() map[int]int { return t.t.Loads() }
+
+// load returns the number of leases member holds.
+func (t *leaseTable) load(member int) int { return t.t.Load(member) }
+
+// memberLeases returns member's leases in grant order, oldest first.
+func (t *leaseTable) memberLeases(member int) []Lease { return t.t.WorkerLeases(member) }

@@ -34,16 +34,28 @@ type Master[T any] struct {
 	opts   Options
 	digest string
 
-	ln     net.Listener
-	geom   dag.Geometry
-	graph  *dag.Graph
-	parser *dag.Parser
-	store  matrix.BlockStore[T]
-	rt     *sched.RegisterTable
-	ot     *sched.OvertimeQueue
-	disp   sched.Dispatcher
-	leases *leaseTable
-	reg    *Registry
+	ln      net.Listener
+	geom    dag.Geometry
+	graph   *dag.Graph
+	parser  *dag.Parser
+	store   matrix.BlockStore[T]
+	rt      *sched.RegisterTable
+	ot      *sched.OvertimeQueue
+	disp    sched.Dispatcher
+	leases  *leaseTable
+	reg     *Registry
+	clock   sched.Clock
+	profile *sched.RuntimeProfile
+
+	// Speculation bookkeeping: specPending marks vertices the control
+	// loop has flagged for a backup dispatch (the next sender to draw
+	// them issues a RegisterBackup instead of a superseding Register);
+	// backupOf remembers the live backup attempt per vertex so the
+	// arbitration outcome (won vs wasted) can be classified when the
+	// race resolves.
+	specMu      sync.Mutex
+	specPending map[int32]bool
+	backupOf    map[int32]int32
 
 	ckpt     *checkpoint.Writer
 	ckptFile *os.File
@@ -64,6 +76,8 @@ type Master[T any] struct {
 	ran                                 atomic.Bool
 	tasks, dispatches, redist, restored atomic.Int64
 	stale, batchMsgs, taskBytes         atomic.Int64
+	speculated, specWon, specWasted     atomic.Int64
+	steals                              atomic.Int64
 }
 
 // event is one unit of the master's serialized input: a message from a
@@ -118,23 +132,27 @@ func NewMaster[T any](p core.Problem[T], opts Options) (*Master[T], error) {
 	geom := dag.MatrixGeometry(p.Size, proc)
 	graph := dag.Build(p.Kernel.Pattern(), geom)
 	m := &Master[T]{
-		p:      p,
-		opts:   opts,
-		digest: opts.Spec.Digest(),
-		ln:     ln,
-		geom:   geom,
-		graph:  graph,
-		parser: dag.NewParser(graph),
-		store:  matrix.NewStore[T](geom),
-		rt:     sched.NewRegisterTable(),
-		ot:     sched.NewOvertimeQueue(),
-		disp:   sched.NewDynamic(),
-		leases: newLeaseTable(),
-		reg:    NewRegistry(opts.Trace),
-		inbox:  make(chan event, 256),
-		conns:  make(map[int]*memberConn),
-		quorum: make(chan struct{}),
-		done:   make(chan struct{}),
+		p:           p,
+		opts:        opts,
+		digest:      opts.Spec.Digest(),
+		ln:          ln,
+		geom:        geom,
+		graph:       graph,
+		parser:      dag.NewParser(graph),
+		store:       matrix.NewStore[T](geom),
+		rt:          sched.NewRegisterTable(),
+		ot:          sched.NewOvertimeQueueClock(opts.Clock),
+		disp:        sched.NewDynamic(),
+		leases:      newLeaseTable(opts.Clock),
+		reg:         NewRegistry(opts.Trace, opts.Clock),
+		clock:       opts.Clock,
+		profile:     sched.NewRuntimeProfile(0),
+		specPending: make(map[int32]bool),
+		backupOf:    make(map[int32]int32),
+		inbox:       make(chan event, 256),
+		conns:       make(map[int]*memberConn),
+		quorum:      make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	if opts.Spec == (Spec{}) {
 		m.digest = "" // zero spec disables the admission digest check
@@ -244,9 +262,26 @@ func (m *Master[T]) Run(ctx context.Context) (*Result[T], error) {
 			Reassigned:      reassigned,
 			BatchMessages:   m.batchMsgs.Load(),
 			TaskBytes:       m.taskBytes.Load(),
+			Speculated:      m.speculated.Load(),
+			SpecWon:         m.specWon.Load(),
+			SpecWasted:      m.specWasted.Load(),
+			Steals:          m.steals.Load(),
+			Leaked:          int64(m.rt.Outstanding() + m.leases.len()),
 			Elapsed:         time.Since(start),
 		},
 	}, nil
+}
+
+// Snapshot merges the registry's membership view with the master's
+// straggler-mitigation counters — the monitoring surface the job
+// service's /metrics exposition reads.
+func (m *Master[T]) Snapshot() Snapshot {
+	s := m.reg.Metrics()
+	s.Speculated = m.speculated.Load()
+	s.SpecWon = m.specWon.Load()
+	s.SpecWasted = m.specWasted.Load()
+	s.Steals = m.steals.Load()
+	return s
 }
 
 func (m *Master[T]) finished() bool {
@@ -459,11 +494,15 @@ func (m *Master[T]) senderLoop(mc *memberConn) {
 // for several). Every vertex holds its own lease, so a member death
 // mid-batch revokes and reassigns exactly the undone remainder. It
 // returns false when every vertex turned out to be already finished.
+//
+// A vertex flagged by the speculation loop is dispatched as a backup: a
+// concurrent attempt that does not supersede the original, so whichever
+// result lands first wins and the loser is dropped by stamp.
 func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
-	now := time.Now()
+	now := m.clock.Now()
 	entries := make([]comm.TaskEntry, 0, len(ids))
 	for _, v := range ids {
-		attempt, ok := m.rt.Register(v)
+		attempt, ok, backup := m.register(mc.id, v)
 		if !ok {
 			continue
 		}
@@ -478,11 +517,19 @@ func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
 			m.finish(fmt.Errorf("cluster: encoding data region of vertex %d: %w", v, err))
 			return true
 		}
-		m.leases.grant(v, mc.id, attempt)
 		// Batch entries execute sequentially on the member, so entry i's
 		// overtime deadline scales with its position; a healthy deep
 		// entry must not be redistributed just for waiting its turn.
-		m.ot.Add(v, attempt, now.Add(m.opts.TaskTimeout*time.Duration(len(entries)+1)))
+		deadline := now.Add(m.opts.TaskTimeout * time.Duration(len(entries)+1))
+		if backup {
+			m.leases.add(v, mc.id, attempt)
+			m.ot.AddConcurrent(v, attempt, deadline)
+			m.speculated.Add(1)
+			m.opts.Trace.Speculate(mc.id, v)
+		} else {
+			m.leases.grant(v, mc.id, attempt)
+			m.ot.Add(v, attempt, deadline)
+		}
 		m.opts.Trace.TaskStart(mc.id, v)
 		m.dispatches.Add(1)
 		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
@@ -514,6 +561,39 @@ func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
 	return true
 }
 
+// register claims an attempt of v for member. For an ordinary draw it is
+// rt.Register; for a vertex flagged by the speculation loop it issues a
+// concurrent backup attempt instead — unless the drawing member already
+// holds a lease on v (it would be backing itself up), in which case the
+// flag is dropped and the control loop may re-flag the vertex next tick.
+func (m *Master[T]) register(member int, v int32) (attempt int32, ok, backup bool) {
+	m.specMu.Lock()
+	pending := m.specPending[v]
+	delete(m.specPending, v)
+	m.specMu.Unlock()
+	if !pending {
+		a, ok := m.rt.Register(v)
+		return a, ok, false
+	}
+	for _, l := range m.leases.holders(v) {
+		if l.Worker == member {
+			return 0, false, false
+		}
+	}
+	a, ok := m.rt.RegisterBackup(v)
+	if !ok {
+		// The original finished, or was cancelled, while the flag waited
+		// in the ready queue; an uncovered unfinished vertex is always
+		// re-dispatched through the normal requeue path, so nothing is
+		// lost by skipping.
+		return 0, false, false
+	}
+	m.specMu.Lock()
+	m.backupOf[v] = a
+	m.specMu.Unlock()
+	return a, true, true
+}
+
 // recvLoop serializes membership and result handling until the run ends.
 func (m *Master[T]) recvLoop() {
 	for {
@@ -533,6 +613,8 @@ func (m *Master[T]) recvLoop() {
 				m.echoHeartbeat(ev.member)
 			case comm.KindLeave:
 				m.memberLeave(ev.member)
+			case comm.KindHunger:
+				m.feedHungry(ev.member)
 			case comm.KindResult:
 				m.applyResult(ev.member, ev.msg.Vertex, ev.msg.Attempt, ev.msg.Payload)
 				// More marks a partial flush of a still-executing
@@ -565,6 +647,63 @@ func (m *Master[T]) signalIdle(member int) {
 	}
 }
 
+// feedHungry answers a worker's hunger announcement (its pool has been
+// drained beyond its patience) by stealing queued-but-undispatched
+// backlog from the most loaded member: the tail of that member's leases
+// — batch entries it has not reached yet — is revoked, cancelled and
+// requeued, where the hungry member's blocked sender picks it up. The
+// lease/attempt machinery makes the hand-off exact: the victim's later
+// results for stolen entries carry retired stamps and are dropped as
+// stale, and a death mid-steal requeues only what remains uncovered.
+func (m *Master[T]) feedHungry(member int) {
+	if !m.opts.Steal {
+		return
+	}
+	if m.disp.ReadyCount() > 0 {
+		// There is queued work already; the hungry member's sender is
+		// blocked in Next and will draw it without help.
+		return
+	}
+	if m.leases.load(member) > 0 {
+		return // not actually idle: it still owes results
+	}
+	// Victim: the member with the deepest backlog, at least two leases
+	// deep (the head entry is the one it is executing right now).
+	victim, deepest := 0, 1
+	for w, n := range m.leases.loads() {
+		if w != member && n > deepest {
+			victim, deepest = w, n
+		}
+	}
+	if victim == 0 {
+		return
+	}
+	backlog := m.leases.memberLeases(victim)
+	if len(backlog) < 2 {
+		return
+	}
+	// Steal the newer half of the backlog (tail by grant sequence),
+	// leaving the head — and anything involved in a speculative race —
+	// with the victim.
+	stolen := 0
+	for _, l := range backlog[(len(backlog)+1)/2:] {
+		if m.rt.LiveAttempts(l.Vertex) != 1 {
+			continue
+		}
+		m.leases.releaseAttempt(l.Vertex, l.Attempt)
+		m.ot.RemoveAttempt(l.Vertex, l.Attempt)
+		if m.rt.CancelAttempt(l.Vertex, l.Attempt) == 0 {
+			m.disp.Requeue(l.Vertex)
+			stolen++
+		}
+	}
+	if stolen > 0 {
+		m.steals.Add(int64(stolen))
+		m.opts.Trace.Steal(member, stolen)
+		m.opts.Trace.Ready(m.disp.ReadyCount())
+	}
+}
+
 // echoHeartbeat answers a worker beacon, giving the worker's read-idle
 // bound the periodic traffic it needs to distinguish a slow master from
 // a dead one.
@@ -578,16 +717,34 @@ func (m *Master[T]) echoHeartbeat(member int) {
 }
 
 // applyResult commits one computed vertex — the per-vertex core of result
-// handling, shared by the single-result and batched paths.
+// handling, shared by the single-result and batched paths. Accept
+// arbitrates concurrent attempts: the first live result (original or
+// speculative backup) wins and retires every other attempt, so the
+// loser's later delivery falls into the stale branch.
 func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
 	if !m.rt.Accept(v, attempt) {
 		// A superseded attempt: the vertex was revoked (member declared
-		// dead, or overtime) and reassigned; drop the late answer.
+		// dead, or overtime) and reassigned, or a concurrent attempt
+		// already won the speculative race; drop the late answer.
 		m.stale.Add(1)
 		return
 	}
 	m.ot.Remove(v)
+	if l, ok := m.leases.find(v, attempt); ok {
+		m.profile.Observe(m.clock.Now().Sub(l.Granted))
+	}
 	m.leases.release(v)
+	m.specMu.Lock()
+	if backup, ok := m.backupOf[v]; ok {
+		delete(m.backupOf, v)
+		delete(m.specPending, v)
+		if backup == attempt {
+			m.specWon.Add(1)
+		} else {
+			m.specWasted.Add(1)
+		}
+	}
+	m.specMu.Unlock()
 	blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
 	if err != nil || len(blocks) != 1 {
 		m.finish(fmt.Errorf("cluster: bad result payload for vertex %d from member %d: %v", v, member, err))
@@ -654,27 +811,56 @@ func (m *Master[T]) revoke(member int) {
 		mc.close()
 	}
 	leases := m.leases.revokeMember(member)
+	reassigned := 0
 	for _, l := range leases {
-		m.rt.Cancel(l.Vertex)
-		m.disp.Requeue(l.Vertex)
+		m.ot.RemoveAttempt(l.Vertex, l.Attempt)
+		m.noteAttemptGone(l.Vertex, l.Attempt)
+		// Only requeue when no concurrent attempt survives: if the dead
+		// member held one side of a speculative race, the other side
+		// still covers the vertex.
+		if m.rt.CancelAttempt(l.Vertex, l.Attempt) == 0 {
+			m.disp.Requeue(l.Vertex)
+			reassigned++
+		}
 	}
-	m.reg.noteRevoked(len(leases), len(leases))
-	if len(leases) > 0 {
+	m.reg.noteRevoked(len(leases), reassigned)
+	if reassigned > 0 {
 		m.opts.Trace.Ready(m.disp.ReadyCount())
 	}
 }
 
+// noteAttemptGone records the speculation-accounting consequence of one
+// attempt of v dying (worker death, overtime expiry or a steal): a dead
+// backup was wasted; a dead original turns its backup into the sole
+// attempt, no longer a race to classify.
+func (m *Master[T]) noteAttemptGone(v, attempt int32) {
+	m.specMu.Lock()
+	if backup, ok := m.backupOf[v]; ok {
+		delete(m.backupOf, v)
+		if backup == attempt {
+			m.specWasted.Add(1)
+		}
+	}
+	m.specMu.Unlock()
+}
+
 // controlLoop is the fault-tolerance thread of the elastic master: it
-// applies heartbeat deadlines to the membership table and overtime
-// deadlines to in-flight vertices.
+// applies heartbeat deadlines to the membership table, overtime
+// deadlines to in-flight attempts, and — when enabled — flags straggling
+// attempts for speculative backups.
 func (m *Master[T]) controlLoop() {
-	ticker := time.NewTicker(m.opts.CheckInterval)
+	ticker := m.clock.NewTicker(m.opts.CheckInterval)
 	defer ticker.Stop()
+	// timeouts counts overtime expiries per vertex: the MaxAttempts guard
+	// for poisoned tasks. Speculative backups and death revocations bump
+	// the attempt stamp without indicting the task, so the register
+	// table's attempt count is no longer the right measure.
+	timeouts := make(map[int32]int)
 	for {
 		select {
 		case <-m.done:
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.C():
 			for _, id := range m.reg.Sweep(now, m.opts.HeartbeatInterval, m.opts.HeartbeatMiss) {
 				// Sweep already marked it dead; revoke directly (the
 				// MarkDead in memberDown would see a dead member and
@@ -682,15 +868,66 @@ func (m *Master[T]) controlLoop() {
 				m.revoke(id)
 			}
 			for _, e := range m.ot.ExpireBefore(now) {
-				m.rt.Cancel(e.ID)
-				m.leases.release(e.ID)
-				if int(m.rt.Attempts(e.ID)) >= m.opts.MaxAttempts {
-					m.finish(fmt.Errorf("cluster: vertex %d timed out %d times (MaxAttempts); giving up", e.ID, e.Attempt))
+				m.leases.releaseAttempt(e.ID, e.Attempt)
+				m.noteAttemptGone(e.ID, e.Attempt)
+				timeouts[e.ID]++
+				if timeouts[e.ID] >= m.opts.MaxAttempts {
+					m.finish(fmt.Errorf("cluster: vertex %d timed out %d times (MaxAttempts); giving up", e.ID, timeouts[e.ID]))
 					return
 				}
-				m.redist.Add(1)
-				m.disp.Requeue(e.ID)
+				// Requeue only when no concurrent attempt still covers
+				// the vertex.
+				if m.rt.CancelAttempt(e.ID, e.Attempt) == 0 {
+					m.redist.Add(1)
+					m.disp.Requeue(e.ID)
+				}
+			}
+			if m.opts.Speculate {
+				m.maybeSpeculate()
 			}
 		}
+	}
+}
+
+// maybeSpeculate flags in-flight attempts whose age exceeds the runtime
+// profile's threshold for backup dispatch. Flagged vertices are pushed
+// onto the ready stack; an idle sender draws them and register() turns
+// the draw into a concurrent backup attempt. Speculation only fires when
+// the ready queue is empty — while real work is queued, idle capacity
+// should take that first.
+func (m *Master[T]) maybeSpeculate() {
+	if m.disp.ReadyCount() > 0 {
+		return
+	}
+	threshold, ok := m.profile.Threshold(
+		m.opts.SpecQuantile, m.opts.SpecMultiplier, m.opts.SpecFloor, m.opts.SpecMinSamples)
+	if !ok {
+		return // cold profile: not enough completions to judge stragglers
+	}
+	// At most one new backup per live member per tick keeps a burst of
+	// stragglers from flooding the queue with speculative work.
+	budget := m.reg.Live()
+	var flagged []int32
+	for _, l := range m.leases.olderThan(threshold) {
+		if budget == 0 {
+			break
+		}
+		if m.rt.LiveAttempts(l.Vertex) != 1 {
+			continue // already racing a backup
+		}
+		m.specMu.Lock()
+		skip := m.specPending[l.Vertex]
+		if !skip {
+			m.specPending[l.Vertex] = true
+		}
+		m.specMu.Unlock()
+		if skip {
+			continue
+		}
+		flagged = append(flagged, l.Vertex)
+		budget--
+	}
+	if len(flagged) > 0 {
+		m.disp.Ready(flagged...)
 	}
 }

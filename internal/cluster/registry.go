@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -67,22 +68,28 @@ type Registry struct {
 	next    int
 	members map[int]*Member
 	tr      *trace.Recorder
+	clock   sched.Clock
 
 	joins, leaves, deaths     int64
 	leasesRevoked, reassigned int64
 }
 
 // NewRegistry creates an empty registry; membership transitions are
-// mirrored into tr (nil records nothing).
-func NewRegistry(tr *trace.Recorder) *Registry {
-	return &Registry{members: make(map[int]*Member), tr: tr}
+// mirrored into tr (nil records nothing) and heartbeat stamps read from
+// clock (nil means the wall clock), so the deadline tests can drive the
+// table deterministically.
+func NewRegistry(tr *trace.Recorder, clock sched.Clock) *Registry {
+	if clock == nil {
+		clock = sched.Wall
+	}
+	return &Registry{members: make(map[int]*Member), tr: tr, clock: clock}
 }
 
 // Admit registers a new member and returns its identity.
 func (r *Registry) Admit(name, addr string) Member {
 	r.mu.Lock()
 	r.next++
-	now := time.Now()
+	now := r.clock.Now()
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", r.next)
 	}
@@ -102,7 +109,7 @@ func (r *Registry) Beat(id int) {
 	m := r.members[id]
 	recovered := false
 	if m != nil && (m.State == StateActive || m.State == StateSuspect) {
-		m.LastBeat = time.Now()
+		m.LastBeat = r.clock.Now()
 		recovered = m.State == StateSuspect
 		m.State = StateActive
 	}

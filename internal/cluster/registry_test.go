@@ -10,7 +10,7 @@ import (
 
 func TestRegistryLifecycle(t *testing.T) {
 	tr := trace.New()
-	r := NewRegistry(tr)
+	r := NewRegistry(tr, nil)
 
 	a := r.Admit("", "1.2.3.4:5")
 	b := r.Admit("custom", "6.7.8.9:0")
@@ -86,7 +86,7 @@ func TestRegistryLifecycle(t *testing.T) {
 }
 
 func TestLeaseTable(t *testing.T) {
-	lt := newLeaseTable()
+	lt := newLeaseTable(nil)
 	lt.grant(1, 10, 1)
 	lt.grant(2, 10, 1)
 	lt.grant(3, 11, 1)
@@ -95,18 +95,18 @@ func TestLeaseTable(t *testing.T) {
 	}
 	// Redistribution supersedes the old holder.
 	lt.grant(1, 11, 2)
-	if l, ok := lt.holder(1); !ok || l.Member != 11 || l.Attempt != 2 {
-		t.Fatalf("holder(1) = %+v %v, want member 11 attempt 2", l, ok)
+	if hs := lt.holders(1); len(hs) != 1 || hs[0].Worker != 11 || hs[0].Attempt != 2 {
+		t.Fatalf("holders(1) = %+v, want member 11 attempt 2", hs)
 	}
 	// The superseded member no longer owns vertex 1.
 	revoked := lt.revokeMember(10)
 	if len(revoked) != 1 || revoked[0].Vertex != 2 {
 		t.Fatalf("revokeMember(10) = %+v, want only vertex 2", revoked)
 	}
-	if l, ok := lt.release(3); !ok || l.Member != 11 {
-		t.Fatalf("release(3) = %+v %v", l, ok)
+	if ls := lt.release(3); len(ls) != 1 || ls[0].Worker != 11 {
+		t.Fatalf("release(3) = %+v", ls)
 	}
-	if _, ok := lt.release(3); ok {
+	if ls := lt.release(3); len(ls) != 0 {
 		t.Fatal("double release succeeded")
 	}
 	if lt.len() != 1 {

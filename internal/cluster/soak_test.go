@@ -12,13 +12,16 @@ import (
 )
 
 // TestSoakBatchedFaults hammers the batched dispatch path with membership
-// churn: many short elastic runs, each with a randomized batch bound and a
-// randomly chosen mid-run fault (abrupt kill, silent partition, graceful
-// leave) against one of three workers. Every run must converge to the
-// sequential matrix with Tasks equal to the vertex count — a lost vertex
-// hangs the run into RunTimeout, a double-counted one inflates Tasks, and
-// a mis-ordered batch corrupts the matrix. Enable with scripts/ci.sh
-// -soak (build tag "soak").
+// churn while straggler mitigation is live: many short elastic runs, each
+// with a randomized batch bound, speculation always on, stealing on for
+// half the runs, and a randomly chosen mid-run fault (abrupt kill, silent
+// partition, graceful leave, heavy slowdown) against one of three
+// workers. Every run must converge to the sequential matrix with Tasks
+// equal to the vertex count and no leaked attempt or lease — a lost
+// vertex hangs the run into RunTimeout, a double-counted one inflates
+// Tasks, a mis-ordered batch corrupts the matrix, and a speculative race
+// that loses track of an attempt shows up in Leaked. Enable with
+// scripts/ci.sh -soak (build tag "soak").
 func TestSoakBatchedFaults(t *testing.T) {
 	const runs = 200
 	const vertices = 64 // 8x8 processor grid of the shared test problem
@@ -27,12 +30,16 @@ func TestSoakBatchedFaults(t *testing.T) {
 
 	for run := 0; run < runs; run++ {
 		batch := 1 + rng.Intn(8)
-		fault := rng.Intn(3) // 0 kill, 1 partition+heal, 2 leave
+		fault := rng.Intn(4) // 0 kill, 1 partition+heal, 2 leave, 3 slow
 		victim := rng.Intn(3)
 		threshold := 3 + rng.Intn(vertices/2)
+		steal := rng.Intn(2) == 1
 
 		opts := testOptions(spec, 3)
 		opts.Batch = batch
+		opts.Speculate = true
+		opts.CheckInterval = 10 * time.Millisecond
+		opts.Steal = steal
 		faultAt := make(chan struct{})
 		opts.OnProgress = progressTrigger(threshold, faultAt)
 
@@ -42,6 +49,9 @@ func TestSoakBatchedFaults(t *testing.T) {
 		}
 		wopts := testWorkerOptions(spec, 50*time.Microsecond)
 		wopts.Run.Batch = batch
+		if steal {
+			wopts.HungerAfter = 15 * time.Millisecond
+		}
 		h := cluster.NewHarness(prob, m.Addr(), wopts)
 
 		ctx, cancel := context.WithCancel(context.Background())
@@ -52,10 +62,18 @@ func TestSoakBatchedFaults(t *testing.T) {
 				h.Kill(victim)
 			case 1:
 				h.Partition(victim)
-				time.Sleep(4 * opts.HeartbeatInterval)
+				// Hold the partition until the heartbeat sweep declares the
+				// victim dead (bounded by the run's own RunTimeout).
+				for m.Registry().Metrics().Deaths == 0 && ctx.Err() == nil {
+					time.Sleep(5 * time.Millisecond)
+				}
 				h.Heal(victim)
 			case 2:
 				h.Leave(victim)
+			case 3:
+				// Not a membership fault: a straggler the speculative path
+				// must race past.
+				h.Slow(victim, 50*time.Millisecond)
 			}
 		}()
 
@@ -81,6 +99,10 @@ func TestSoakBatchedFaults(t *testing.T) {
 		if out.res.Stats.Tasks != vertices {
 			t.Fatalf("run %d (batch=%d fault=%d): tasks = %d, want %d (lost or double-counted vertex)\nstats: %v",
 				run, batch, fault, out.res.Stats.Tasks, vertices, out.res.Stats)
+		}
+		if out.res.Stats.Leaked != 0 {
+			t.Fatalf("run %d (batch=%d fault=%d steal=%v): %d attempts/leases leaked\nstats: %v",
+				run, batch, fault, steal, out.res.Stats.Leaked, out.res.Stats)
 		}
 		equalMatrices(t, "soak", out.res.Matrix(), want)
 		cancel()

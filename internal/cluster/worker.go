@@ -39,6 +39,11 @@ type WorkerOptions struct {
 	// the worker sleeps the returned duration — the fault-injection
 	// harness's hook for slowing a member down.
 	TaskDelay func() time.Duration
+	// HungerAfter, when positive, announces hunger to the master after
+	// this long without a task arriving: the worker's pool has drained
+	// and it volunteers to have queued work stolen toward it (the master
+	// acts only when its Steal option is on). Zero disables.
+	HungerAfter time.Duration
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -125,6 +130,48 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 		}
 	}()
 
+	// Hunger beacon: when no task has arrived for HungerAfter, tell the
+	// master this member's pool has drained so it can steal queued work
+	// toward it. The recv loop feeds activity on every task receipt and
+	// completion; the beacon re-arms while idleness persists.
+	var activity chan struct{}
+	if opts.HungerAfter > 0 {
+		activity = make(chan struct{}, 1)
+		go func() {
+			timer := time.NewTimer(opts.HungerAfter)
+			defer timer.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-activity:
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
+					timer.Reset(opts.HungerAfter)
+				case <-timer.C:
+					if cn.Send(comm.Message{Kind: comm.KindHunger}) != nil {
+						return
+					}
+					timer.Reset(opts.HungerAfter)
+				}
+			}
+		}()
+	}
+	noteActivity := func() {
+		if activity != nil {
+			select {
+			case activity <- struct{}{}:
+			default:
+			}
+		}
+	}
+
 	if err := cn.Send(comm.Message{Kind: comm.KindIdle}); err != nil {
 		return fmt.Errorf("cluster: member %d announcing idle: %w", member, err)
 	}
@@ -138,6 +185,7 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 		}
 		switch msg.Kind {
 		case comm.KindTask:
+			noteActivity()
 			if opts.TaskDelay != nil {
 				if d := opts.TaskDelay(); d > 0 {
 					time.Sleep(d)
@@ -155,7 +203,9 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 				}
 				return fmt.Errorf("cluster: member %d sending result of vertex %d: %w", member, msg.Vertex, err)
 			}
+			noteActivity() // idleness starts at completion
 		case comm.KindTaskBatch:
+			noteActivity()
 			// Entries are mutually independent; execute them in order
 			// through the same runner, flushing coalesced results every
 			// flushBound entries. Non-final flushes carry More so the
@@ -201,6 +251,7 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 				}
 				return fmt.Errorf("cluster: member %d sending batch results: %w", member, err)
 			}
+			noteActivity() // idleness starts at completion
 		case comm.KindHeartbeat:
 			// The master's echo of our beacon; its arrival already reset
 			// the read-idle clock.

@@ -49,6 +49,11 @@ const (
 	// KindResultBatch carries the coalesced output blocks of a task
 	// batch back to the master (Batch holds the entries).
 	KindResultBatch
+	// KindHunger is sent by a worker whose local pool has been drained
+	// for a while: it announces capacity beyond the ordinary idle
+	// announcement, inviting the master to steal queued-but-undispatched
+	// work from a loaded peer toward this worker.
+	KindHunger
 )
 
 func (k Kind) String() string {
@@ -71,6 +76,8 @@ func (k Kind) String() string {
 		return "task-batch"
 	case KindResultBatch:
 		return "result-batch"
+	case KindHunger:
+		return "hunger"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

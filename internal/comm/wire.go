@@ -156,6 +156,12 @@ func decodeBinaryBody(kind Kind, body []byte) (Message, error) {
 	if nbatch > 0 {
 		m.Batch = make([]TaskEntry, nbatch)
 		for i := range m.Batch {
+			// The upfront count check bounds the sum of entry headers, but
+			// an oversized earlier payload can still eat into this entry's
+			// share, so the header must be re-checked per entry.
+			if len(rest) < 8 {
+				return Message{}, fmt.Errorf("comm: batch entry %d: truncated header (%d bytes)", i, len(rest))
+			}
 			m.Batch[i].Vertex = int32(binary.LittleEndian.Uint32(rest[0:]))
 			m.Batch[i].Attempt = int32(binary.LittleEndian.Uint32(rest[4:]))
 			rest = rest[8:]

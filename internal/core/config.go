@@ -92,6 +92,20 @@ type Config struct {
 	// thread level, so that deterministic kernel bugs fail loudly
 	// instead of looping through fault recovery forever. Default 4.
 	MaxAttempts int
+	// Speculate enables speculative re-execution: when an in-flight
+	// sub-task runs longer than twice the 95th percentile of observed
+	// runtimes (tracked in a per-run sched.RuntimeProfile), a backup
+	// attempt is dispatched to an idle slave and whichever result
+	// arrives first wins; the loser is dropped by attempt stamp. Not
+	// applied under PolicyBlockCyclic, whose static ownership leaves no
+	// idle slave eligible to run a backup.
+	Speculate bool
+	// Steal enables idle work stealing: when a slave's sender is
+	// starved (no computable work) while another slave has a backlog of
+	// queued-but-undispatched batch entries, the master cancels the
+	// tail of that backlog and requeues it for the starved slave. Not
+	// applied under PolicyBlockCyclic.
+	Steal bool
 	// Latency is the emulated interconnect cost of the in-process
 	// transport.
 	Latency comm.LatencyModel

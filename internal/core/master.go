@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -23,16 +24,30 @@ type master[T any] struct {
 	cfg Config
 	tr  comm.Transport
 
-	geom   dag.Geometry
-	graph  *dag.Graph
-	parser *dag.Parser
-	disp   sched.Dispatcher
-	store  matrix.BlockStore[T]
-	reg    *sched.RegisterTable
-	ot     *sched.OvertimeQueue
-	ctrs   *counters
+	geom    dag.Geometry
+	graph   *dag.Graph
+	parser  *dag.Parser
+	disp    sched.Dispatcher
+	store   matrix.BlockStore[T]
+	reg     *sched.RegisterTable
+	ot      *sched.OvertimeQueue
+	ctrs    *counters
+	leases  *sched.LeaseTable
+	profile *sched.RuntimeProfile
 
 	idle []chan struct{} // indexed by slave rank (1..Slaves)
+
+	// waiting[s] is set while slave s's sender is blocked in the
+	// dispatcher: the slave is idle with nothing computable — the
+	// starvation signal the work-stealing path reacts to.
+	waiting []atomic.Bool
+
+	// Speculation bookkeeping, mirroring the elastic master: specPending
+	// marks vertices flagged for a backup dispatch; backupOf remembers
+	// the live backup attempt per vertex for won/wasted classification.
+	specMu      sync.Mutex
+	specPending map[int32]bool
+	backupOf    map[int32]int32
 
 	// uses[v] counts the not-yet-finished sub-tasks whose data region
 	// includes block v; when ReclaimBlocks is set and the count drops to
@@ -53,6 +68,16 @@ type master[T any] struct {
 	err      error
 }
 
+// Speculation tuning shared with the elastic master's defaults: an attempt
+// is a straggler when it has been running longer than specMultiplier times
+// the specQuantile of observed runtimes, judged only once specMinSamples
+// completions have warmed the profile.
+const (
+	specQuantile   = 0.95
+	specMultiplier = 2
+	specMinSamples = 8
+)
+
 // runMaster executes the master part over transport tr and returns the
 // completed matrix store. cfg must already have defaults applied.
 // Cancelling ctx finishes the run with ctx's error.
@@ -68,18 +93,23 @@ func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Tra
 		store = ss
 	}
 	m := &master[T]{
-		p:      p,
-		cfg:    cfg,
-		tr:     tr,
-		geom:   geom,
-		graph:  graph,
-		parser: dag.NewParser(graph),
-		store:  store,
-		reg:    sched.NewRegisterTable(),
-		ot:     sched.NewOvertimeQueue(),
-		ctrs:   ctrs,
-		idle:   make([]chan struct{}, cfg.Slaves+1),
-		done:   make(chan struct{}),
+		p:           p,
+		cfg:         cfg,
+		tr:          tr,
+		geom:        geom,
+		graph:       graph,
+		parser:      dag.NewParser(graph),
+		store:       store,
+		reg:         sched.NewRegisterTable(),
+		ot:          sched.NewOvertimeQueue(),
+		ctrs:        ctrs,
+		leases:      sched.NewLeaseTable(),
+		profile:     sched.NewRuntimeProfile(0),
+		specPending: make(map[int32]bool),
+		backupOf:    make(map[int32]int32),
+		idle:        make([]chan struct{}, cfg.Slaves+1),
+		waiting:     make([]atomic.Bool, cfg.Slaves+1),
+		done:        make(chan struct{}),
 	}
 	switch cfg.Policy {
 	case PolicyBlockCyclic:
@@ -199,7 +229,9 @@ func (m *master[T]) senderLoop(s int) {
 		}
 		for {
 			if m.cfg.Batch > 1 {
+				m.waiting[s].Store(true)
 				ids, ok := m.disp.NextBatch(worker, m.cfg.Batch)
+				m.waiting[s].Store(false)
 				if !ok {
 					m.sendEnd(s)
 					return
@@ -208,7 +240,9 @@ func (m *master[T]) senderLoop(s int) {
 					break
 				}
 			} else {
+				m.waiting[s].Store(true)
 				v, ok := m.disp.Next(worker)
+				m.waiting[s].Store(false)
 				if !ok {
 					m.sendEnd(s)
 					return
@@ -233,11 +267,15 @@ func (m *master[T]) sendEnd(s int) {
 // false when the vertex finished while queued for redistribution (its
 // result raced the timeout) or when encoding failed — the latter also
 // aborts the run through finish, so the caller's dispatcher drains.
+//
+// A vertex flagged by the speculation pass is dispatched as a backup: a
+// concurrent attempt that does not supersede the original, so whichever
+// result lands first wins and the loser is dropped by stamp.
 func (m *master[T]) prepareEntry(s, worker int, v int32, deadline time.Time) (comm.TaskEntry, bool) {
 	// Register first: if the vertex finished while queued for
 	// redistribution we must bail out before touching the known-set,
 	// or unsent blocks would be recorded as held by the slave.
-	attempt, ok := m.reg.Register(v)
+	attempt, ok, backup := m.register(s, v)
 	if !ok {
 		return comm.TaskEntry{}, false
 	}
@@ -256,10 +294,52 @@ func (m *master[T]) prepareEntry(s, worker int, v int32, deadline time.Time) (co
 		m.finish(fmt.Errorf("core: encoding data region of vertex %d: %w", v, err))
 		return comm.TaskEntry{}, false
 	}
-	m.ot.Add(v, attempt, deadline)
+	if backup {
+		m.leases.Add(v, s, attempt, time.Now())
+		m.ot.AddConcurrent(v, attempt, deadline)
+		m.ctrs.speculated.Add(1)
+		m.cfg.Trace.Speculate(worker, v)
+	} else {
+		m.leases.Grant(v, s, attempt, time.Now())
+		m.ot.Add(v, attempt, deadline)
+	}
 	m.cfg.Trace.TaskStart(worker, v)
 	m.ctrs.dispatches.Add(1)
 	return comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload}, true
+}
+
+// register claims an attempt of v for slave s. For an ordinary draw it is
+// reg.Register; for a vertex flagged by the speculation pass it issues a
+// concurrent backup attempt instead — unless the drawing slave already
+// holds a lease on v (it would be backing itself up), in which case the
+// flag is dropped and the fault-tolerance loop may re-flag the vertex on
+// its next tick.
+func (m *master[T]) register(s int, v int32) (attempt int32, ok, backup bool) {
+	m.specMu.Lock()
+	pending := m.specPending[v]
+	delete(m.specPending, v)
+	m.specMu.Unlock()
+	if !pending {
+		a, ok := m.reg.Register(v)
+		return a, ok, false
+	}
+	for _, l := range m.leases.Holders(v) {
+		if l.Worker == s {
+			return 0, false, false
+		}
+	}
+	a, ok := m.reg.RegisterBackup(v)
+	if !ok {
+		// The original finished, or was cancelled, while the flag waited
+		// in the ready queue; an uncovered unfinished vertex is always
+		// re-dispatched through the normal requeue path, so nothing is
+		// lost by skipping.
+		return 0, false, false
+	}
+	m.specMu.Lock()
+	m.backupOf[v] = a
+	m.specMu.Unlock()
+	return a, true, true
 }
 
 // dispatch sends vertex v to slave s. It returns false when the vertex
@@ -383,12 +463,27 @@ func (m *master[T]) filterKnown(s int, deps []int32) []int32 {
 func (m *master[T]) applyResult(from int, v, attempt int32, payload []byte) {
 	if !m.reg.Accept(v, attempt) {
 		// A late answer for a superseded attempt (§V.B step g): the
-		// registration was cancelled on timeout, so the result is
-		// dropped.
+		// registration was cancelled on timeout, or a concurrent attempt
+		// already won the speculative race, so the result is dropped.
 		m.ctrs.staleResults.Add(1)
 		return
 	}
 	m.ot.Remove(v)
+	if l, ok := m.leases.Find(v, attempt); ok {
+		m.profile.Observe(time.Since(l.Granted))
+	}
+	m.leases.Release(v)
+	m.specMu.Lock()
+	if backup, ok := m.backupOf[v]; ok {
+		delete(m.backupOf, v)
+		delete(m.specPending, v)
+		if backup == attempt {
+			m.ctrs.specWon.Add(1)
+		} else {
+			m.ctrs.specWasted.Add(1)
+		}
+	}
+	m.specMu.Unlock()
 	blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
 	if err != nil || len(blocks) != 1 {
 		m.finish(fmt.Errorf("core: bad result payload for vertex %d from slave %d: %v", v, from, err))
@@ -502,24 +597,160 @@ func (m *master[T]) restore() error {
 
 // faultToleranceLoop is the master fault-tolerance thread: it expires
 // overdue sub-tasks, cancels their registration and redistributes them
-// (Fig. 10).
+// (Fig. 10). When enabled it also runs the straggler-mitigation passes:
+// flagging overlong attempts for speculative backups and rebalancing
+// queued-but-undispatched backlog toward starved slaves. Neither pass
+// applies under PolicyBlockCyclic, whose static ownership leaves no idle
+// slave eligible to take another slave's work.
 func (m *master[T]) faultToleranceLoop() {
 	ticker := time.NewTicker(m.cfg.CheckInterval)
 	defer ticker.Stop()
+	mitigate := m.cfg.Policy != PolicyBlockCyclic
+	// timeouts counts overtime expiries per vertex: the MaxAttempts guard
+	// for poisoned tasks. Speculative backups bump the register table's
+	// attempt stamp without indicting the task, so the stamp is no longer
+	// the right measure.
+	timeouts := make(map[int32]int)
 	for {
 		select {
 		case <-m.done:
 			return
 		case now := <-ticker.C:
 			for _, e := range m.ot.ExpireBefore(now) {
-				m.reg.Cancel(e.ID)
-				if int(m.reg.Attempts(e.ID)) >= m.cfg.MaxAttempts {
-					m.finish(fmt.Errorf("core: sub-task %d timed out %d times (MaxAttempts); giving up", e.ID, e.Attempt))
+				m.leases.ReleaseAttempt(e.ID, e.Attempt)
+				m.noteAttemptGone(e.ID, e.Attempt)
+				timeouts[e.ID]++
+				if timeouts[e.ID] >= m.cfg.MaxAttempts {
+					m.finish(fmt.Errorf("core: sub-task %d timed out %d times (MaxAttempts); giving up", e.ID, timeouts[e.ID]))
 					return
 				}
-				m.ctrs.redistributions.Add(1)
-				m.disp.Requeue(e.ID)
+				// Requeue only when no concurrent attempt still covers the
+				// vertex: if one side of a speculative race expired, the
+				// other still runs.
+				if m.reg.CancelAttempt(e.ID, e.Attempt) == 0 {
+					m.ctrs.redistributions.Add(1)
+					m.disp.Requeue(e.ID)
+				}
 			}
+			if m.cfg.Speculate && mitigate {
+				m.maybeSpeculate()
+			}
+			if m.cfg.Steal && mitigate {
+				m.maybeSteal()
+			}
+		}
+	}
+}
+
+// noteAttemptGone records the speculation-accounting consequence of one
+// attempt of v dying (overtime expiry or a steal): a dead backup was
+// wasted; a dead original turns its backup into the sole attempt, no
+// longer a race to classify.
+func (m *master[T]) noteAttemptGone(v, attempt int32) {
+	m.specMu.Lock()
+	if backup, ok := m.backupOf[v]; ok {
+		delete(m.backupOf, v)
+		if backup == attempt {
+			m.ctrs.specWasted.Add(1)
+		}
+	}
+	m.specMu.Unlock()
+}
+
+// maybeSpeculate flags in-flight attempts whose age exceeds the runtime
+// profile's threshold for backup dispatch. Flagged vertices are pushed
+// onto the ready stack; a starved sender draws them and register() turns
+// the draw into a concurrent backup attempt. Speculation only fires when
+// the ready queue is empty — while real work is queued, idle capacity
+// should take that first.
+func (m *master[T]) maybeSpeculate() {
+	if m.disp.ReadyCount() > 0 {
+		return
+	}
+	threshold, ok := m.profile.Threshold(specQuantile, specMultiplier, m.cfg.CheckInterval, specMinSamples)
+	if !ok {
+		return // cold profile: not enough completions to judge stragglers
+	}
+	// At most one new backup per slave per tick keeps a burst of
+	// stragglers from flooding the queue with speculative work.
+	budget := m.cfg.Slaves
+	var flagged []int32
+	for _, l := range m.leases.OlderThan(time.Now().Add(-threshold)) {
+		if budget == 0 {
+			break
+		}
+		if m.reg.LiveAttempts(l.Vertex) != 1 {
+			continue // already racing a backup
+		}
+		m.specMu.Lock()
+		skip := m.specPending[l.Vertex]
+		if !skip {
+			m.specPending[l.Vertex] = true
+		}
+		m.specMu.Unlock()
+		if skip {
+			continue
+		}
+		flagged = append(flagged, l.Vertex)
+		budget--
+	}
+	if len(flagged) > 0 {
+		m.disp.Ready(flagged...)
+	}
+}
+
+// maybeSteal rebalances queued-but-undispatched backlog toward a starved
+// slave: one whose sender is blocked in the dispatcher while it holds no
+// leases. The tail of the most loaded slave's lease backlog — batch
+// entries it has not reached yet — is revoked, cancelled and requeued,
+// where the starved sender picks it up. The lease/attempt machinery makes
+// the hand-off exact: the victim's later results for stolen entries carry
+// retired stamps and are dropped as stale.
+func (m *master[T]) maybeSteal() {
+	if m.disp.ReadyCount() > 0 {
+		// There is queued work already; the starved sender will draw it
+		// without help.
+		return
+	}
+	for s := 1; s <= m.cfg.Slaves; s++ {
+		if !m.waiting[s].Load() || m.leases.Load(s) > 0 {
+			continue
+		}
+		// Victim: the slave with the deepest backlog, at least two leases
+		// deep (the head entry is the one it is executing right now).
+		victim, deepest := 0, 1
+		for w, n := range m.leases.Loads() {
+			if w != s && n > deepest {
+				victim, deepest = w, n
+			}
+		}
+		if victim == 0 {
+			return
+		}
+		backlog := m.leases.WorkerLeases(victim)
+		if len(backlog) < 2 {
+			return
+		}
+		// Steal the newer half of the backlog (tail by grant sequence),
+		// leaving the head — and anything involved in a speculative race —
+		// with the victim.
+		stolen := 0
+		for _, l := range backlog[(len(backlog)+1)/2:] {
+			if m.reg.LiveAttempts(l.Vertex) != 1 {
+				continue
+			}
+			m.leases.ReleaseAttempt(l.Vertex, l.Attempt)
+			m.ot.RemoveAttempt(l.Vertex, l.Attempt)
+			if m.reg.CancelAttempt(l.Vertex, l.Attempt) == 0 {
+				m.disp.Requeue(l.Vertex)
+				stolen++
+			}
+		}
+		if stolen > 0 {
+			m.ctrs.steals.Add(int64(stolen))
+			m.cfg.Trace.Steal(s-1, stolen)
+			m.cfg.Trace.Ready(m.disp.ReadyCount())
+			return // at most one steal per tick
 		}
 	}
 }

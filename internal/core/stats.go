@@ -43,6 +43,13 @@ type Stats struct {
 	// individual vertices, so Dispatches/BatchMessages is the realized
 	// mean batch size of the batched portion of the dispatch stream.
 	BatchMessages int64
+	// Speculated counts backup attempts dispatched (Config.Speculate);
+	// SpecWon of those, how many beat the original; SpecWasted, how
+	// many lost the race or were cancelled.
+	Speculated, SpecWon, SpecWasted int64
+	// Steals counts queued-but-undispatched sub-tasks reclaimed from a
+	// loaded slave's backlog for a starved one (Config.Steal).
+	Steals int64
 	// TaskBytes is the total payload bytes of task messages sent to
 	// slaves (both per-vertex and batched), before transport framing.
 	TaskBytes int64
@@ -66,6 +73,7 @@ type counters struct {
 	blocksReclaimed, peakBlocks, restored            atomic.Int64
 	blocksShipped, blocksSkipped                     atomic.Int64
 	batchMessages, taskBytes                         atomic.Int64
+	speculated, specWon, specWasted, steals          atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -84,6 +92,10 @@ func (c *counters) snapshot() Stats {
 		BlocksSkipped:   c.blocksSkipped.Load(),
 		BatchMessages:   c.batchMessages.Load(),
 		TaskBytes:       c.taskBytes.Load(),
+		Speculated:      c.speculated.Load(),
+		SpecWon:         c.specWon.Load(),
+		SpecWasted:      c.specWasted.Load(),
+		Steals:          c.steals.Load(),
 	}
 }
 

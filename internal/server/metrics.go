@@ -36,6 +36,10 @@ type metrics struct {
 	dispatches atomic.Int64
 	batchMsgs  atomic.Int64
 	taskBytes  atomic.Int64
+	speculated atomic.Int64
+	specWon    atomic.Int64
+	specWasted atomic.Int64
+	steals     atomic.Int64
 
 	// Per-job latency histogram over jobs that actually ran.
 	histMu    sync.Mutex
@@ -78,6 +82,10 @@ func (x *metrics) addRunStats(s core.Stats) {
 	x.dispatches.Add(s.Dispatches)
 	x.batchMsgs.Add(s.BatchMessages)
 	x.taskBytes.Add(s.TaskBytes)
+	x.speculated.Add(s.Speculated)
+	x.specWon.Add(s.SpecWon)
+	x.specWasted.Add(s.SpecWasted)
+	x.steals.Add(s.Steals)
 }
 
 // SetClusterStats attaches an elastic-cluster snapshot source (typically
@@ -147,11 +155,20 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP easyhps_dispatch_bytes_per_vertex Mean task payload bytes per dispatched vertex across all runs.\n# TYPE easyhps_dispatch_bytes_per_vertex gauge\neasyhps_dispatch_bytes_per_vertex 0\n")
 	}
 
+	// Straggler-mitigation totals: completed runs' stats, plus the live
+	// elastic cluster's counters when a snapshot source is attached.
+	speculated, specWon, specWasted := x.speculated.Load(), x.specWon.Load(), x.specWasted.Load()
+	steals := x.steals.Load()
+
 	m.clusterMu.Lock()
 	clusterFn := m.clusterStats
 	m.clusterMu.Unlock()
 	if clusterFn != nil {
 		s := clusterFn()
+		speculated += s.Speculated
+		specWon += s.SpecWon
+		specWasted += s.SpecWasted
+		steals += s.Steals
 		fmt.Fprintf(w, "# HELP easyhps_cluster_members Elastic cluster members by state.\n# TYPE easyhps_cluster_members gauge\n")
 		for _, state := range []string{"active", "suspect", "dead", "left"} {
 			fmt.Fprintf(w, "easyhps_cluster_members{state=%q} %d\n", state, s.States[state])
@@ -160,6 +177,16 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP easyhps_cluster_leaves_total Graceful departures from the elastic cluster.\n# TYPE easyhps_cluster_leaves_total counter\neasyhps_cluster_leaves_total %d\n", s.Leaves)
 		fmt.Fprintf(w, "# HELP easyhps_cluster_deaths_total Members declared dead (heartbeat loss or connection failure).\n# TYPE easyhps_cluster_deaths_total counter\neasyhps_cluster_deaths_total %d\n", s.Deaths)
 		fmt.Fprintf(w, "# HELP easyhps_cluster_leases_revoked_total Task leases revoked by member death or leave.\n# TYPE easyhps_cluster_leases_revoked_total counter\neasyhps_cluster_leases_revoked_total %d\n", s.LeasesRevoked)
+	}
+
+	fmt.Fprintf(w, "# HELP easyhps_speculative_dispatched_total Speculative backup attempts dispatched.\n# TYPE easyhps_speculative_dispatched_total counter\neasyhps_speculative_dispatched_total %d\n", speculated)
+	fmt.Fprintf(w, "# HELP easyhps_speculative_won_total Speculative backups whose result beat the original.\n# TYPE easyhps_speculative_won_total counter\neasyhps_speculative_won_total %d\n", specWon)
+	fmt.Fprintf(w, "# HELP easyhps_speculative_wasted_total Speculative backups that lost the race or were cancelled.\n# TYPE easyhps_speculative_wasted_total counter\neasyhps_speculative_wasted_total %d\n", specWasted)
+	fmt.Fprintf(w, "# HELP easyhps_steals_total Queued sub-tasks stolen from loaded workers for starved ones.\n# TYPE easyhps_steals_total counter\neasyhps_steals_total %d\n", steals)
+	if speculated > 0 {
+		fmt.Fprintf(w, "# HELP easyhps_speculative_waste_ratio Wasted fraction of dispatched speculative backups.\n# TYPE easyhps_speculative_waste_ratio gauge\neasyhps_speculative_waste_ratio %.3f\n", float64(specWasted)/float64(speculated))
+	} else {
+		fmt.Fprintf(w, "# HELP easyhps_speculative_waste_ratio Wasted fraction of dispatched speculative backups.\n# TYPE easyhps_speculative_waste_ratio gauge\neasyhps_speculative_waste_ratio 0\n")
 	}
 
 	x.histMu.Lock()

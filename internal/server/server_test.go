@@ -363,6 +363,10 @@ func TestClusterMetricsExposition(t *testing.T) {
 			Leaves:        1,
 			Deaths:        1,
 			LeasesRevoked: 2,
+			Speculated:    4,
+			SpecWon:       3,
+			SpecWasted:    1,
+			Steals:        6,
 		}
 	})
 	text, err = c.Metrics(ctx)
@@ -378,6 +382,11 @@ func TestClusterMetricsExposition(t *testing.T) {
 		"easyhps_cluster_leaves_total 1",
 		"easyhps_cluster_deaths_total 1",
 		"easyhps_cluster_leases_revoked_total 2",
+		"easyhps_speculative_dispatched_total 4",
+		"easyhps_speculative_won_total 3",
+		"easyhps_speculative_wasted_total 1",
+		"easyhps_steals_total 6",
+		"easyhps_speculative_waste_ratio 0.250",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -27,6 +27,12 @@ const (
 	// carries the number of vertices in the message (1 for the classic
 	// per-vertex protocol, >1 for a batch) and Bytes its payload size.
 	EvDispatch
+	// EvSpeculate records a speculative backup dispatch: Worker is the
+	// member executing the backup and Vertex the straggling vertex.
+	EvSpeculate
+	// EvSteal records a work-steal: Worker is the hungry member the work
+	// moved toward and Ready the number of stolen vertices.
+	EvSteal
 )
 
 // Event is one recorded scheduling event.
@@ -76,6 +82,16 @@ func (r *Recorder) Ready(n int) { r.add(Event{Kind: EvReady, Ready: n}) }
 // and bytes payload bytes.
 func (r *Recorder) Dispatch(w, vertices, bytes int) {
 	r.add(Event{Kind: EvDispatch, Worker: w, Ready: vertices, Bytes: bytes})
+}
+
+// Speculate records a backup attempt of vertex v dispatched to worker w.
+func (r *Recorder) Speculate(w int, v int32) {
+	r.add(Event{Kind: EvSpeculate, Worker: w, Vertex: v})
+}
+
+// Steal records n vertices stolen toward hungry worker w.
+func (r *Recorder) Steal(w, n int) {
+	r.add(Event{Kind: EvSteal, Worker: w, Ready: n})
 }
 
 // Member records a membership transition of elastic worker id (states:

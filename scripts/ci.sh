@@ -36,10 +36,12 @@ go run ./cmd/easyhps-vet ./...
 go build ./...
 go test -race ./...
 # The elastic-cluster integration tests (kill/partition/join/restart over
-# real sockets) are the most schedule-sensitive code in the repo; run them
-# a second time under -race with caching off so a lucky first pass cannot
-# hide a flaky membership or lease race.
-go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects' ./internal/cluster/
+# real sockets) and the straggler-mitigation suite (fake-clock timeout and
+# speculation arbitration, duplicate-result idempotence, speculative rescue
+# and backlog stealing) are the most schedule-sensitive code in the repo;
+# run them a second time under -race with caching off so a lucky first pass
+# cannot hide a flaky membership, lease, or attempt-arbitration race.
+go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects|TestClusterOvertimeFakeClock|TestSpeculationFakeClock|TestDuplicateResultIdempotent|TestSpeculationRescues|TestStealRebalances' ./internal/cluster/
 
 # Coverage ratchet for the task hot path (dispatch, wire codec, runtime).
 # The minimums sit just under the measured numbers at the time each was
@@ -57,9 +59,10 @@ check_cover() {
     fi
     echo "coverage: $pkg ${pct}% (>= ${min}%)"
 }
-check_cover internal/sched 90
+check_cover internal/sched 92
 check_cover internal/comm 82
 check_cover internal/core 86
+check_cover internal/cluster 75
 
 # Smoke the wire-codec fuzzer: ten seconds of random frames must neither
 # crash the decoder nor break the encode/decode round trip.
