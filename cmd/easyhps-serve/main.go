@@ -6,6 +6,15 @@
 //
 //	easyhps-serve -addr :8080 -slaves 3 -threads 4 -max-jobs 2 -queue 16
 //
+// With -fleet the service schedules every job onto one shared elastic
+// worker pool instead of the in-process deployment: workers join with
+// easyhps-worker -fleet, the fair-share policy interleaves all admitted
+// jobs over the pool, and /metrics gains per-job labelled series plus
+// the fleet autoscaling signals (queue depth, hunger rate, deficit).
+//
+//	easyhps-serve -addr :8080 -fleet :9000 -max-jobs 8
+//	easyhps-worker -fleet -addr localhost:9000 -threads 4
+//
 //	curl -X POST localhost:8080/v1/jobs \
 //	     -d '{"kernel":"editdist","n":400,"seed":7}'
 //	curl localhost:8080/v1/jobs/job-1
@@ -31,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -45,6 +55,11 @@ func main() {
 		queue    = flag.Int("queue", 16, "bounded submission queue depth (overflow answers 429)")
 		maxCells = flag.Int64("max-cells", 16<<20, "largest admitted DP matrix, in cells")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running jobs")
+
+		fleetAddr  = flag.String("fleet", "", "shared-fleet listen address (e.g. :9000): route jobs onto one elastic worker pool instead of the in-process deployment; pair with easyhps-worker -fleet")
+		fleetBatch = flag.Int("fleet-batch", 1, "fleet: vertices per dispatch message")
+		speculate  = flag.Bool("speculate", false, "fleet: speculatively re-execute straggling vertices")
+		steal      = flag.Bool("steal", false, "fleet: feed hungry workers from loaded members' backlogs")
 	)
 	flag.Parse()
 
@@ -60,19 +75,41 @@ func main() {
 		run.ThreadPartition = dag.Square(*thread)
 	}
 
-	mgr := server.NewManager(server.ManagerConfig{
+	cfg := server.ManagerConfig{
 		Run:           run,
 		MaxConcurrent: *maxJobs,
 		QueueDepth:    *queue,
 		MaxCells:      *maxCells,
-	}, nil)
+	}
+	var fl *fleet.Fleet[int32]
+	if *fleetAddr != "" {
+		var err error
+		fl, err = fleet.New[int32](fleet.Options{
+			Addr:      *fleetAddr,
+			Batch:     *fleetBatch,
+			Speculate: *speculate,
+			Steal:     *steal,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easyhps-serve:", err)
+			os.Exit(1)
+		}
+		defer fl.Close()
+		cfg.Fleet = fl
+	}
+	mgr := server.NewManager(cfg, nil)
 
 	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(mgr)}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "easyhps-serve: listening on %s (cluster %dx%d, %d run slots, queue %d)\n",
-			*addr, *slaves, *threads, *maxJobs, *queue)
+		if fl != nil {
+			fmt.Fprintf(os.Stderr, "easyhps-serve: listening on %s (shared fleet on %s, %d admission slots, queue %d)\n",
+				*addr, fl.Addr(), *maxJobs, *queue)
+		} else {
+			fmt.Fprintf(os.Stderr, "easyhps-serve: listening on %s (cluster %dx%d, %d run slots, queue %d)\n",
+				*addr, *slaves, *threads, *maxJobs, *queue)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 

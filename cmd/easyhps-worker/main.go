@@ -10,6 +10,11 @@
 // master's membership service whenever it starts — including mid-run —
 // heartbeats while alive, and departs gracefully on Ctrl-C so its
 // in-flight work is reassigned immediately.
+//
+// In fleet mode (-fleet) the worker joins a shared fleet run by
+// easyhps-serve -fleet and serves any number of concurrent jobs: kernel
+// state attaches per job from the master's spec frames (validated by
+// digest against the built-in registry), so no workload flags are needed.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/fleet"
+	"repro/internal/server"
 )
 
 func main() {
@@ -42,12 +49,39 @@ func main() {
 		wait    = flag.Duration("wait", time.Minute, "how long to keep dialing the master")
 
 		elastic = flag.Bool("elastic", false, "join an elastic cluster master (ignores -rank/-workers)")
-		name    = flag.String("name", "", "elastic: member name in the master's logs and metrics")
-		hb      = flag.Duration("hb", 250*time.Millisecond, "elastic: heartbeat interval (must match the master)")
-		hbMiss  = flag.Int("hb-miss", 3, "elastic: silent intervals before giving the master up for dead")
-		steal   = flag.Bool("steal", false, "elastic: announce hunger when idle so the master steals backlog this way (pair with master -steal)")
+		name    = flag.String("name", "", "elastic/fleet: member name in the master's logs and metrics")
+		hb      = flag.Duration("hb", 250*time.Millisecond, "elastic/fleet: heartbeat interval (must match the master)")
+		hbMiss  = flag.Int("hb-miss", 3, "elastic/fleet: silent intervals before giving the master up for dead")
+		steal   = flag.Bool("steal", false, "elastic/fleet: announce hunger when idle so the master steals backlog this way (pair with master -steal)")
+
+		fleetMode = flag.Bool("fleet", false, "join a shared fleet (easyhps-serve -fleet): jobs attach dynamically, so -app/-n/-seed are ignored")
 	)
 	flag.Parse()
+
+	if *fleetMode {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		fmt.Printf("joining shared fleet at %s with %d threads\n", *addr, *threads)
+		opts := fleet.WorkerOptions{
+			Addr:              *addr,
+			Name:              *name,
+			HeartbeatInterval: *hb,
+			HeartbeatMiss:     *hbMiss,
+			DialTimeout:       *wait,
+			Run:               core.Config{Threads: *threads, Batch: *batch},
+		}
+		if *steal {
+			opts.HungerAfter = 2 * *hb
+		}
+		err := fleet.RunWorker(ctx, server.RegistryBuilder(server.NewRegistry()), opts)
+		if err == context.Canceled {
+			fmt.Println("worker left the fleet")
+			return
+		}
+		fatal(err)
+		fmt.Println("worker done")
+		return
+	}
 
 	prob, _, err := cli.Build(*app, *n, *seed)
 	fatal(err)

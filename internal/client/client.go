@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // BusyError is returned by Submit when the service applied backpressure
@@ -138,6 +139,14 @@ func (c *Client) Result(ctx context.Context, id string) (server.JobResult, error
 	var res server.JobResult
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
 	return res, err
+}
+
+// Trace fetches the scheduling trace of a fleet-mode job. Non-fleet
+// deployments answer 404.
+func (c *Client) Trace(ctx context.Context, id string) ([]trace.JSONEvent, error) {
+	var out []trace.JSONEvent
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &out)
+	return out, err
 }
 
 // Cancel asks the service to stop the job.

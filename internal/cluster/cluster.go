@@ -223,6 +223,32 @@ type Stats struct {
 	Elapsed time.Duration
 }
 
+// Add accumulates o into s field by field (Elapsed takes the max, since
+// concurrent jobs overlap in wall time) — the fleet's roll-up of per-job
+// Stats into one aggregate view.
+func (s *Stats) Add(o Stats) {
+	s.Tasks += o.Tasks
+	s.Dispatches += o.Dispatches
+	s.Redistributions += o.Redistributions
+	s.Restored += o.Restored
+	s.StaleResults += o.StaleResults
+	s.Joins += o.Joins
+	s.Leaves += o.Leaves
+	s.Deaths += o.Deaths
+	s.LeasesRevoked += o.LeasesRevoked
+	s.Reassigned += o.Reassigned
+	s.BatchMessages += o.BatchMessages
+	s.TaskBytes += o.TaskBytes
+	s.Speculated += o.Speculated
+	s.SpecWon += o.SpecWon
+	s.SpecWasted += o.SpecWasted
+	s.Steals += o.Steals
+	s.Leaked += o.Leaked
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("tasks=%d dispatches=%d redist=%d restored=%d stale=%d joins=%d leaves=%d deaths=%d revoked=%d reassigned=%d spec=%d/%d/%d steals=%d elapsed=%v",
 		s.Tasks, s.Dispatches, s.Redistributions, s.Restored, s.StaleResults,

@@ -73,11 +73,8 @@ type Master[T any] struct {
 	errMu    sync.Mutex
 	err      error
 
-	ran                                 atomic.Bool
-	tasks, dispatches, redist, restored atomic.Int64
-	stale, batchMsgs, taskBytes         atomic.Int64
-	speculated, specWon, specWasted     atomic.Int64
-	steals                              atomic.Int64
+	ran  atomic.Bool
+	ctrs Counters
 }
 
 // event is one unit of the master's serialized input: a message from a
@@ -246,30 +243,16 @@ func (m *Master[T]) Run(ctx context.Context) (*Result[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	joins, leaves, deaths, revoked, reassigned := m.reg.counters()
-	return &Result[T]{
-		Store: m.store,
-		Stats: Stats{
-			Tasks:           m.tasks.Load(),
-			Dispatches:      m.dispatches.Load(),
-			Redistributions: m.redist.Load(),
-			Restored:        m.restored.Load(),
-			StaleResults:    m.stale.Load(),
-			Joins:           joins,
-			Leaves:          leaves,
-			Deaths:          deaths,
-			LeasesRevoked:   revoked,
-			Reassigned:      reassigned,
-			BatchMessages:   m.batchMsgs.Load(),
-			TaskBytes:       m.taskBytes.Load(),
-			Speculated:      m.speculated.Load(),
-			SpecWon:         m.specWon.Load(),
-			SpecWasted:      m.specWasted.Load(),
-			Steals:          m.steals.Load(),
-			Leaked:          int64(m.rt.Outstanding() + m.leases.len()),
-			Elapsed:         time.Since(start),
-		},
-	}, nil
+	joins, leaves, deaths, revoked, reassigned := m.reg.MembershipCounts()
+	stats := m.ctrs.Stats()
+	stats.Joins = joins
+	stats.Leaves = leaves
+	stats.Deaths = deaths
+	stats.LeasesRevoked = revoked
+	stats.Reassigned = reassigned
+	stats.Leaked = int64(m.rt.Outstanding() + m.leases.len())
+	stats.Elapsed = time.Since(start)
+	return &Result[T]{Store: m.store, Stats: stats}, nil
 }
 
 // Snapshot merges the registry's membership view with the master's
@@ -277,10 +260,10 @@ func (m *Master[T]) Run(ctx context.Context) (*Result[T], error) {
 // service's /metrics exposition reads.
 func (m *Master[T]) Snapshot() Snapshot {
 	s := m.reg.Metrics()
-	s.Speculated = m.speculated.Load()
-	s.SpecWon = m.specWon.Load()
-	s.SpecWasted = m.specWasted.Load()
-	s.Steals = m.steals.Load()
+	s.Speculated = m.ctrs.Speculated.Load()
+	s.SpecWon = m.ctrs.SpecWon.Load()
+	s.SpecWasted = m.ctrs.SpecWasted.Load()
+	s.Steals = m.ctrs.Steals.Load()
 	return s
 }
 
@@ -343,7 +326,7 @@ func (m *Master[T]) restore() error {
 			return err
 		}
 		m.ckpt, m.ckptFile, _ = w, f, n
-		m.restored.Store(int64(n))
+		m.ctrs.Restored.Store(int64(n))
 	}
 	frontier := make([]int32, 0, len(ready))
 	for id := range ready {
@@ -524,14 +507,14 @@ func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
 		if backup {
 			m.leases.add(v, mc.id, attempt)
 			m.ot.AddConcurrent(v, attempt, deadline)
-			m.speculated.Add(1)
+			m.ctrs.Speculated.Add(1)
 			m.opts.Trace.Speculate(mc.id, v)
 		} else {
 			m.leases.grant(v, mc.id, attempt)
 			m.ot.Add(v, attempt, deadline)
 		}
 		m.opts.Trace.TaskStart(mc.id, v)
-		m.dispatches.Add(1)
+		m.ctrs.Dispatches.Add(1)
 		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
 	}
 	if len(entries) == 0 {
@@ -541,13 +524,13 @@ func (m *Master[T]) dispatch(mc *memberConn, ids []int32) bool {
 	for _, e := range entries {
 		bytes += len(e.Payload)
 	}
-	m.taskBytes.Add(int64(bytes))
+	m.ctrs.TaskBytes.Add(int64(bytes))
 	m.opts.Trace.Dispatch(mc.id, len(entries), bytes)
 	var msg comm.Message
 	if len(entries) == 1 {
 		msg = comm.Message{Kind: comm.KindTask, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
 	} else {
-		m.batchMsgs.Add(1)
+		m.ctrs.BatchMessages.Add(1)
 		msg = comm.Message{Kind: comm.KindTaskBatch, Batch: entries}
 	}
 	if err := mc.cn.Send(msg); err != nil {
@@ -698,7 +681,7 @@ func (m *Master[T]) feedHungry(member int) {
 		}
 	}
 	if stolen > 0 {
-		m.steals.Add(int64(stolen))
+		m.ctrs.Steals.Add(int64(stolen))
 		m.opts.Trace.Steal(member, stolen)
 		m.opts.Trace.Ready(m.disp.ReadyCount())
 	}
@@ -726,7 +709,7 @@ func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
 		// A superseded attempt: the vertex was revoked (member declared
 		// dead, or overtime) and reassigned, or a concurrent attempt
 		// already won the speculative race; drop the late answer.
-		m.stale.Add(1)
+		m.ctrs.StaleResults.Add(1)
 		return
 	}
 	m.ot.Remove(v)
@@ -739,9 +722,9 @@ func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
 		delete(m.backupOf, v)
 		delete(m.specPending, v)
 		if backup == attempt {
-			m.specWon.Add(1)
+			m.ctrs.SpecWon.Add(1)
 		} else {
-			m.specWasted.Add(1)
+			m.ctrs.SpecWasted.Add(1)
 		}
 	}
 	m.specMu.Unlock()
@@ -753,7 +736,7 @@ func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
 	m.store.Put(m.geom.PosOf(v), blocks[0])
 	m.reg.NoteCompleted(member)
 	m.opts.Trace.TaskEnd(member, v)
-	m.tasks.Add(1)
+	m.ctrs.Tasks.Add(1)
 	if m.ckpt != nil {
 		if err := m.ckpt.Append(v, payload); err != nil {
 			m.finish(err)
@@ -823,7 +806,7 @@ func (m *Master[T]) revoke(member int) {
 			reassigned++
 		}
 	}
-	m.reg.noteRevoked(len(leases), reassigned)
+	m.reg.NoteRevoked(len(leases), reassigned)
 	if reassigned > 0 {
 		m.opts.Trace.Ready(m.disp.ReadyCount())
 	}
@@ -838,7 +821,7 @@ func (m *Master[T]) noteAttemptGone(v, attempt int32) {
 	if backup, ok := m.backupOf[v]; ok {
 		delete(m.backupOf, v)
 		if backup == attempt {
-			m.specWasted.Add(1)
+			m.ctrs.SpecWasted.Add(1)
 		}
 	}
 	m.specMu.Unlock()
@@ -878,7 +861,7 @@ func (m *Master[T]) controlLoop() {
 				// Requeue only when no concurrent attempt still covers
 				// the vertex.
 				if m.rt.CancelAttempt(e.ID, e.Attempt) == 0 {
-					m.redist.Add(1)
+					m.ctrs.Redistributions.Add(1)
 					m.disp.Requeue(e.ID)
 				}
 			}

@@ -194,9 +194,10 @@ func (r *Registry) NoteCompleted(id int) {
 	r.mu.Unlock()
 }
 
-// noteRevoked accumulates lease-revocation accounting (driven by the
-// master's revocation path).
-func (r *Registry) noteRevoked(leases, reassigned int) {
+// NoteRevoked accumulates lease-revocation accounting, driven by the
+// revocation path of whoever owns the registry — the elastic master or
+// the shared fleet.
+func (r *Registry) NoteRevoked(leases, reassigned int) {
 	r.mu.Lock()
 	r.leasesRevoked += int64(leases)
 	r.reassigned += int64(reassigned)
@@ -249,8 +250,8 @@ func (r *Registry) Metrics() Snapshot {
 	return s
 }
 
-// counters returns the cumulative membership tallies for Stats.
-func (r *Registry) counters() (joins, leaves, deaths, revoked, reassigned int64) {
+// MembershipCounts returns the cumulative membership tallies for Stats.
+func (r *Registry) MembershipCounts() (joins, leaves, deaths, revoked, reassigned int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.joins, r.leaves, r.deaths, r.leasesRevoked, r.reassigned

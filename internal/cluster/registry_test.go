@@ -64,7 +64,7 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Fatal("MarkLeft on a live member failed")
 	}
 
-	joins, leaves, deaths, _, _ := r.counters()
+	joins, leaves, deaths, _, _ := r.MembershipCounts()
 	if joins != 3 || leaves != 1 || deaths != 2 {
 		t.Fatalf("counters joins=%d leaves=%d deaths=%d, want 3,1,2", joins, leaves, deaths)
 	}

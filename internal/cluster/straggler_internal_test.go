@@ -171,16 +171,16 @@ func TestDuplicateResultIdempotent(t *testing.T) {
 			if !m.parser.Finished() {
 				t.Fatal("DAG did not drain")
 			}
-			if got := m.tasks.Load(); got != int64(applied) {
+			if got := m.ctrs.Tasks.Load(); got != int64(applied) {
 				t.Fatalf("tasks = %d, want %d (each vertex counted exactly once)", got, applied)
 			}
-			if got := m.stale.Load(); got != int64(3*applied) {
+			if got := m.ctrs.StaleResults.Load(); got != int64(3*applied) {
 				t.Fatalf("stale = %d, want %d (three dropped deliveries per vertex)", got, 3*applied)
 			}
-			if got := m.specWon.Load(); got != wantWon {
+			if got := m.ctrs.SpecWon.Load(); got != wantWon {
 				t.Fatalf("specWon = %d, want %d", got, wantWon)
 			}
-			if got := m.specWasted.Load(); got != wantWasted {
+			if got := m.ctrs.SpecWasted.Load(); got != wantWasted {
 				t.Fatalf("specWasted = %d, want %d", got, wantWasted)
 			}
 			if n := m.rt.Outstanding(); n != 0 {
@@ -202,7 +202,7 @@ func TestDuplicateResultIdempotent(t *testing.T) {
 			if err := m2.restore(); err != nil {
 				t.Fatal(err)
 			}
-			if got := m2.restored.Load(); got != int64(applied) {
+			if got := m2.ctrs.Restored.Load(); got != int64(applied) {
 				t.Fatalf("restored = %d, want %d", got, applied)
 			}
 			if !m2.parser.Finished() {
@@ -265,7 +265,7 @@ func TestClusterOvertimeFakeClock(t *testing.T) {
 		if round < opts.MaxAttempts {
 			round := round
 			pollUntil(t, "overtime redistribution", func() bool {
-				return m.redist.Load() == int64(round)
+				return m.ctrs.Redistributions.Load() == int64(round)
 			})
 			if n := m.leases.len(); n != 0 {
 				t.Fatalf("round %d: %d leases survived the timeout", round, n)
@@ -291,7 +291,7 @@ func TestClusterOvertimeFakeClock(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "MaxAttempts") {
 		t.Fatalf("run error = %v, want MaxAttempts abort", err)
 	}
-	if got := m.redist.Load(); got != int64(opts.MaxAttempts-1) {
+	if got := m.ctrs.Redistributions.Load(); got != int64(opts.MaxAttempts-1) {
 		t.Fatalf("redistributions = %d, want %d", got, opts.MaxAttempts-1)
 	}
 }

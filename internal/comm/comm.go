@@ -54,6 +54,16 @@ const (
 	// announcement, inviting the master to steal queued-but-undispatched
 	// work from a loaded peer toward this worker.
 	KindHunger
+	// KindJobSpec attaches a job to a fleet worker: the master sends it
+	// before the first task of a job, carrying the job id in Job and a
+	// JSON-encoded job description (kernel spec, partitions, digest) in
+	// Payload. The worker builds and caches the kernel state for that job
+	// so subsequent task frames only need the job id.
+	KindJobSpec
+	// KindJobEnd detaches a job from a fleet worker: the job identified
+	// by Job has finished (or failed), so the worker frees its cached
+	// kernel state. Unlike KindEnd it does not shut the worker down.
+	KindJobEnd
 )
 
 func (k Kind) String() string {
@@ -78,6 +88,10 @@ func (k Kind) String() string {
 		return "result-batch"
 	case KindHunger:
 		return "hunger"
+	case KindJobSpec:
+		return "job-spec"
+	case KindJobEnd:
+		return "job-end"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -101,6 +115,11 @@ type Message struct {
 	// Attempt numbers the dispatch attempts of a vertex so that results
 	// of timed-out attempts can be recognized and dropped.
 	Attempt int32
+	// Job scopes task, result, and hunger messages to one job of a
+	// shared fleet, so a worker can hold batches from several concurrent
+	// DAGs at once. Zero for single-job (non-fleet) runtimes, whose
+	// masters own exactly one DAG.
+	Job int32
 	// Payload is the application body (encoded blocks).
 	Payload []byte
 	// Batch holds the entries of a KindTaskBatch/KindResultBatch message;

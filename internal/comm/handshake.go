@@ -19,8 +19,11 @@ import (
 // the master sent no welcome); 1 added the hello/welcome exchange with
 // version and problem-spec digest, heartbeat/leave message kinds, and
 // elastic joins; 2 added tagged binary frames for task/result messages
-// and the task-batch/result-batch kinds (see wire.go).
-const ProtocolVersion = 2
+// and the task-batch/result-batch kinds (see wire.go); 3 added the job
+// field on binary frames plus the job-spec/job-end kinds and the fleet
+// hello flag, so one worker can serve several concurrent jobs of a
+// shared fleet.
+const ProtocolVersion = 3
 
 // Hello is the first frame on every worker connection: who is joining and
 // what problem it believes the cluster is solving.
@@ -38,6 +41,10 @@ type Hello struct {
 	// Elastic marks a worker joining an elastic cluster (internal/cluster)
 	// rather than a fixed-size rendezvous.
 	Elastic bool
+	// Fleet marks a worker joining a shared multi-job fleet
+	// (internal/fleet): it carries no single-job digest — per-job specs
+	// are verified via the job-spec attach frames instead.
+	Fleet bool
 	// Name optionally labels the member in logs and metrics.
 	Name string
 }

@@ -32,6 +32,7 @@ import (
 //	  to        i32
 //	  vertex    i32
 //	  attempt   i32
+//	  job       i32  shared-fleet job id (0 outside fleet mode)
 //	  flags     u8   bit0 = More
 //	  payLen    u32  top-level payload length, then payload bytes
 //	  nbatch    u32  batch entry count
@@ -54,8 +55,9 @@ const (
 	maxFrameBody = 1 << 27
 
 	// binFixedHeader is the fixed part of a frame body: from, to,
-	// vertex, attempt (4×i32), flags (u8), payLen (u32), nbatch (u32).
-	binFixedHeader = 4*4 + 1 + 4 + 4
+	// vertex, attempt, job (5×i32), flags (u8), payLen (u32), nbatch
+	// (u32).
+	binFixedHeader = 4*5 + 1 + 4 + 4
 
 	// binEntryHeader is the fixed part of one batch entry: vertex,
 	// attempt (2×i32) and the payload length (u32).
@@ -106,6 +108,7 @@ func appendBinaryFrame(dst []byte, m Message) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.To))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Vertex))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Attempt))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Job))
 	dst = append(dst, flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
 	dst = append(dst, m.Payload...)
@@ -134,9 +137,10 @@ func decodeBinaryBody(kind Kind, body []byte) (Message, error) {
 		To:      int(int32(binary.LittleEndian.Uint32(body[4:]))),
 		Vertex:  int32(binary.LittleEndian.Uint32(body[8:])),
 		Attempt: int32(binary.LittleEndian.Uint32(body[12:])),
-		More:    body[16]&1 != 0,
+		Job:     int32(binary.LittleEndian.Uint32(body[16:])),
+		More:    body[20]&1 != 0,
 	}
-	rest := body[17:]
+	rest := body[21:]
 	var payload []byte
 	var err error
 	if payload, rest, err = cutPayload(rest); err != nil {

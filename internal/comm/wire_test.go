@@ -16,6 +16,7 @@ import (
 func sampleMessages() []Message {
 	return []Message{
 		{Kind: KindTask, From: 0, To: 3, Vertex: 7, Attempt: 1, Payload: []byte("block")},
+		{Kind: KindTask, To: 2, Vertex: 5, Attempt: 2, Job: 3, Payload: []byte("fleet")},
 		{Kind: KindTask, Vertex: 0, Attempt: 1, Payload: nil}, // zero-length block region
 		{Kind: KindResult, From: 2, Vertex: 9, Attempt: 4, Payload: []byte{0, 0, 0, 0}},
 		{Kind: KindResult, Vertex: 1, Attempt: 1, Payload: []byte{1}, More: true},
@@ -51,7 +52,7 @@ func TestBinaryFrameRoundTrip(t *testing.T) {
 // codec does not distinguish them; neither does any consumer).
 func equalMessages(a, b Message) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.To != b.To ||
-		a.Vertex != b.Vertex || a.Attempt != b.Attempt || a.More != b.More {
+		a.Vertex != b.Vertex || a.Attempt != b.Attempt || a.Job != b.Job || a.More != b.More {
 		return false
 	}
 	if !bytes.Equal(a.Payload, b.Payload) || len(a.Batch) != len(b.Batch) {
@@ -141,7 +142,9 @@ func TestConnInterleavesBinaryAndGob(t *testing.T) {
 		{Kind: KindIdle},
 		{Kind: KindTask, Vertex: 3, Attempt: 1, Payload: []byte("data")},
 		{Kind: KindHeartbeat},
-		{Kind: KindTaskBatch, Batch: []TaskEntry{{Vertex: 4, Attempt: 1, Payload: []byte("x")}, {Vertex: 5, Attempt: 2}}},
+		{Kind: KindJobSpec, Job: 2, Payload: []byte(`{"job":2}`)},
+		{Kind: KindTaskBatch, Job: 2, Batch: []TaskEntry{{Vertex: 4, Attempt: 1, Payload: []byte("x")}, {Vertex: 5, Attempt: 2}}},
+		{Kind: KindJobEnd, Job: 2},
 		{Kind: KindResultBatch, More: true, Batch: []TaskEntry{{Vertex: 4, Attempt: 1, Payload: []byte("y")}}},
 		{Kind: KindEnd},
 	}

@@ -1,0 +1,1162 @@
+// Package fleet is the shared-fleet control plane: one master process
+// running N concurrent DAG jobs over a single elastic worker pool.
+//
+// It splits what cluster.Master fuses into one struct. The fleet owns the
+// shared half — the listener, membership registry, member connections,
+// heartbeats and hunger beacons — while each submitted job owns the
+// DAG-progress half: its graph, parser, block store, register table
+// (attempt namespace), overtime queue, lease table, checkpoint log,
+// runtime profile and stats ledger. Task and result frames carry a job id
+// (comm.Message.Job, wire protocol v3), and a worker attaches a job's
+// kernel state on first contact via a job-spec frame, so one worker holds
+// batches from several jobs at once.
+//
+// Which job feeds the next ready batch to an idle worker is decided by a
+// pluggable Policy; the default FairShare dispatches to the eligible job
+// with the largest outstanding-vertex deficit (weighted max-min
+// fairness), with priority classes and per-job in-flight quotas on top.
+// A poisoned job — one whose vertices time out repeatedly — fails alone:
+// its retries are capped by its own MaxAttempts and bounded by its quota,
+// and the healthy jobs keep draining.
+//
+// See docs/FLEET.md for the scheduler policy, the job-scoped lease
+// lifecycle, and the wire-protocol changes.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options configures a shared fleet.
+type Options struct {
+	// Addr is the listen address (host:port; :0 picks a free port,
+	// readable from Fleet.Addr).
+	Addr string
+	// HeartbeatInterval is the worker beacon period (default 250 ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many silent intervals declare a member dead
+	// (default 3).
+	HeartbeatMiss int
+	// TaskTimeout is the default per-vertex overtime bound (default
+	// 30 s); jobs may override it per JobRequest.
+	TaskTimeout time.Duration
+	// CheckInterval is the control-loop tick (default HeartbeatInterval).
+	CheckInterval time.Duration
+	// MaxAttempts is the default per-vertex overtime cap before a job
+	// fails (default 4); jobs may override it.
+	MaxAttempts int
+	// Batch bounds how many ready vertices one dispatch message may
+	// carry (default 1). A batch never mixes jobs.
+	Batch int
+	// DefaultQuota caps each job's in-flight leased attempts when the
+	// JobRequest does not set its own (0 = unlimited).
+	DefaultQuota int
+	// Policy picks the job that feeds each idle worker (default
+	// FairShare).
+	Policy Policy
+	// Speculate enables speculative re-execution per job, with the same
+	// quantile machinery as the single-job master.
+	Speculate bool
+	// SpecQuantile, SpecMultiplier, SpecMinSamples and SpecFloor tune
+	// speculation exactly as in cluster.Options.
+	SpecQuantile   float64
+	SpecMultiplier float64
+	SpecMinSamples int
+	SpecFloor      time.Duration
+	// Steal enables feeding hungry workers from the most loaded member's
+	// undispatched backlog.
+	Steal bool
+	// Clock is the time source for all deadline machinery; nil means the
+	// wall clock, tests inject a sched.FakeClock.
+	Clock sched.Clock
+	// Trace optionally records fleet-level membership events.
+	Trace *trace.Recorder
+	// RetainJobs is how many finished jobs stay queryable via Snapshot
+	// and TraceEvents (default 64).
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatMiss < 1 {
+		o.HeartbeatMiss = 3
+	}
+	if o.TaskTimeout <= 0 {
+		o.TaskTimeout = 30 * time.Second
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.HeartbeatInterval
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 4
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
+	}
+	if o.Policy == nil {
+		o.Policy = FairShare{}
+	}
+	if o.SpecQuantile <= 0 || o.SpecQuantile > 1 {
+		o.SpecQuantile = 0.95
+	}
+	if o.SpecMultiplier <= 1 {
+		o.SpecMultiplier = 2
+	}
+	if o.SpecMinSamples < 1 {
+		o.SpecMinSamples = 8
+	}
+	if o.SpecFloor <= 0 {
+		o.SpecFloor = o.CheckInterval
+	}
+	if o.Clock == nil {
+		o.Clock = sched.Wall
+	}
+	if o.RetainJobs < 1 {
+		o.RetainJobs = 64
+	}
+	return o
+}
+
+// Snapshot is the fleet's monitoring surface: per-job progress, job-state
+// counts, and the autoscaling signals (aggregate queue depth, hunger
+// rate, per-job deficit).
+type Snapshot struct {
+	// Jobs lists running jobs first, then retained finished ones.
+	Jobs []JobStatus
+	// States counts jobs by state ("running", "done", "failed").
+	States map[string]int
+	// QueueDepth is the aggregate number of computable vertices queued
+	// across running jobs — work the pool has not absorbed yet.
+	QueueDepth int
+	// Hungers counts hunger beacons received: a high rate means workers
+	// drain faster than the fleet feeds them.
+	Hungers int64
+	// Members is the membership view (states, joins, deaths, ...).
+	Members cluster.Snapshot
+	// Aggregate rolls every job's Stats up into one ledger.
+	Aggregate cluster.Stats
+}
+
+// Fleet runs many concurrent DAG jobs over one shared elastic worker
+// pool. Create with New, submit jobs with Run (one goroutine per job,
+// typically the job service's run slots), stop with Close.
+type Fleet[T any] struct {
+	opts Options
+
+	ln    net.Listener
+	reg   *cluster.Registry
+	clock sched.Clock
+
+	inbox chan event
+
+	connMu sync.Mutex
+	conns  map[int]*memberConn
+
+	// mu guards the job table, iteration order, every job's ready stack
+	// and served tally, and the closed flag; cond (on mu) wakes senders
+	// when work or shutdown arrives.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[int32]*job[T]
+	order   []int32 // running jobs, submission order
+	doneLog []*job[T]
+	nextID  int32
+	closed  bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+	wg       sync.WaitGroup
+
+	hungers atomic.Int64
+	stale   atomic.Int64 // results for unknown/finished jobs
+}
+
+// event is one unit of the fleet's serialized input: a message from a
+// member, or a connection-failure notice from its pump.
+type event struct {
+	member int
+	msg    comm.Message
+	down   bool
+}
+
+// memberConn is the fleet-side endpoint of one member.
+type memberConn struct {
+	id       int
+	cn       *comm.Conn
+	idle     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// attached tracks which jobs this member holds kernel state for
+	// (job-spec sent, job-end not yet).
+	attachMu sync.Mutex
+	attached map[int32]bool
+}
+
+func (mc *memberConn) close() {
+	mc.stopOnce.Do(func() {
+		close(mc.stop)
+		mc.cn.Close()
+	})
+}
+
+func (mc *memberConn) stopped() bool {
+	select {
+	case <-mc.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// New builds a fleet and starts listening on opts.Addr. Workers may join
+// immediately; jobs arrive via Run.
+func New[T any](opts Options) (*Fleet[T], error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet[T]{
+		opts:  opts,
+		ln:    ln,
+		reg:   cluster.NewRegistry(opts.Trace, opts.Clock),
+		clock: opts.Clock,
+		inbox: make(chan event, 256),
+		conns: make(map[int]*memberConn),
+		jobs:  make(map[int32]*job[T]),
+		done:  make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.wg.Add(3)
+	go func() { defer f.wg.Done(); f.acceptLoop() }()
+	go func() { defer f.wg.Done(); f.recvLoop() }()
+	go func() { defer f.wg.Done(); f.controlLoop() }()
+	return f, nil
+}
+
+// Addr returns the address the fleet listens on.
+func (f *Fleet[T]) Addr() string { return f.ln.Addr().String() }
+
+// Registry exposes the membership table.
+func (f *Fleet[T]) Registry() *cluster.Registry { return f.reg }
+
+// Close shuts the fleet down: running jobs fail with ErrFleetClosed,
+// workers are dismissed, and the loops drain.
+func (f *Fleet[T]) Close() {
+	f.doneOnce.Do(func() {
+		f.mu.Lock()
+		f.closed = true
+		running := make([]*job[T], 0, len(f.order))
+		for _, id := range f.order {
+			running = append(running, f.jobs[id])
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		now := f.clock.Now()
+		for _, jb := range running {
+			jb.finish(ErrFleetClosed, now)
+		}
+		close(f.done)
+		f.ln.Close()
+		f.connMu.Lock()
+		conns := make([]*memberConn, 0, len(f.conns))
+		for _, mc := range f.conns {
+			conns = append(conns, mc)
+		}
+		f.connMu.Unlock()
+		for _, mc := range conns {
+			_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+			mc.close()
+		}
+	})
+	f.wg.Wait()
+}
+
+// ErrFleetClosed fails jobs still running when the fleet shuts down.
+var ErrFleetClosed = errors.New("fleet: closed")
+
+// Run submits one job and blocks until it completes, fails, or ctx is
+// cancelled. Jobs run concurrently: call Run from one goroutine per job.
+func (f *Fleet[T]) Run(ctx context.Context, p core.Problem[T], req JobRequest) (*Result[T], error) {
+	req = req.withDefaults(f.opts)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrFleetClosed
+	}
+	f.nextID++
+	id := f.nextID
+	f.mu.Unlock()
+
+	jb, err := newJob(id, p, req, f.clock)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := jb.restore()
+	if err != nil {
+		return nil, err
+	}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		if jb.ckptFile != nil {
+			jb.ckptFile.Close()
+		}
+		return nil, ErrFleetClosed
+	}
+	f.jobs[id] = jb
+	f.order = append(f.order, id)
+	jb.ready = append(jb.ready, frontier...)
+	jb.tr.Ready(len(jb.ready))
+	if jb.parser.Finished() {
+		// Fully restored from the checkpoint: nothing to schedule.
+		f.mu.Unlock()
+		jb.finish(nil, f.clock.Now())
+		f.retire(jb)
+	} else {
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+
+	select {
+	case <-ctx.Done():
+		jb.finish(ctx.Err(), f.clock.Now())
+		f.retire(jb)
+	case <-jb.done:
+	}
+	if err := jb.finalErr(); err != nil {
+		return nil, err
+	}
+	return &Result[T]{Store: jb.store, Stats: jb.stats()}, nil
+}
+
+// retire removes a finished job from the running table (idempotent),
+// drops its queued work, notifies attached workers to free the job's
+// kernel state, and keeps the job queryable in the done log.
+func (f *Fleet[T]) retire(jb *job[T]) {
+	f.mu.Lock()
+	if _, ok := f.jobs[jb.id]; !ok {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.jobs, jb.id)
+	for i, id := range f.order {
+		if id == jb.id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	jb.ready = nil
+	f.doneLog = append(f.doneLog, jb)
+	if over := len(f.doneLog) - f.opts.RetainJobs; over > 0 {
+		f.doneLog = append([]*job[T](nil), f.doneLog[over:]...)
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	// Drop whatever the job still had in flight so its leases cannot
+	// outlive it (the leak audit already ran in finish), then detach it
+	// from every worker that holds its state.
+	for w := range jb.leases.Loads() {
+		jb.leases.RevokeWorker(w)
+	}
+	f.connMu.Lock()
+	conns := make([]*memberConn, 0, len(f.conns))
+	for _, mc := range f.conns {
+		conns = append(conns, mc)
+	}
+	f.connMu.Unlock()
+	for _, mc := range conns {
+		mc.attachMu.Lock()
+		attached := mc.attached[jb.id]
+		delete(mc.attached, jb.id)
+		mc.attachMu.Unlock()
+		if attached {
+			_ = mc.cn.Send(comm.Message{Kind: comm.KindJobEnd, Job: jb.id})
+		}
+	}
+}
+
+// jobByID returns the running or retained job with the given id.
+func (f *Fleet[T]) jobByID(id int32) *job[T] {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if jb, ok := f.jobs[id]; ok {
+		return jb
+	}
+	for _, jb := range f.doneLog {
+		if jb.id == id {
+			return jb
+		}
+	}
+	return nil
+}
+
+// acceptLoop admits workers for the fleet's whole lifetime.
+func (f *Fleet[T]) acceptLoop() {
+	for {
+		c, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed in Close
+		}
+		go f.admit(c)
+	}
+}
+
+// admit performs the join handshake on one fresh connection. Fleet
+// workers carry no single-job digest — per-job specs are verified via the
+// attach frames instead.
+func (f *Fleet[T]) admit(c net.Conn) {
+	cn := comm.NewConn(c, 0)
+	hello, err := cn.RecvHello(10 * time.Second)
+	if err != nil {
+		cn.Close()
+		return
+	}
+	if reason := comm.CheckHello(hello, ""); reason != "" {
+		cn.Reject(reason)
+		return
+	}
+	if !hello.Fleet {
+		cn.Reject("this master runs a shared fleet; start the worker with -fleet")
+		return
+	}
+	select {
+	case <-f.done:
+		cn.Reject("fleet shut down")
+		return
+	default:
+	}
+	member := f.reg.Admit(hello.Name, c.RemoteAddr().String())
+	if err := cn.SendWelcome(comm.Welcome{Version: comm.ProtocolVersion, Member: member.ID}); err != nil {
+		f.reg.MarkDead(member.ID)
+		cn.Close()
+		return
+	}
+	cn.SetReadIdle(time.Duration(f.opts.HeartbeatMiss+1) * f.opts.HeartbeatInterval)
+	cn.SetWriteTimeout(time.Duration(f.opts.HeartbeatMiss+1) * f.opts.HeartbeatInterval)
+	mc := &memberConn{
+		id:       member.ID,
+		cn:       cn,
+		idle:     make(chan struct{}, 4),
+		stop:     make(chan struct{}),
+		attached: make(map[int32]bool),
+	}
+	f.connMu.Lock()
+	f.conns[member.ID] = mc
+	f.connMu.Unlock()
+	go f.pump(mc)
+	go f.senderLoop(mc)
+}
+
+// pump reads one member's messages into the fleet inbox; a connection
+// error becomes a down event.
+func (f *Fleet[T]) pump(mc *memberConn) {
+	for {
+		msg, err := mc.cn.Recv()
+		if err != nil {
+			select {
+			case f.inbox <- event{member: mc.id, down: true}:
+			case <-f.done:
+			}
+			return
+		}
+		select {
+		case f.inbox <- event{member: mc.id, msg: msg}:
+		case <-f.done:
+			return
+		}
+	}
+}
+
+// senderLoop feeds one member whenever it is idle: each idle token buys
+// one batch, and the policy decides which job the batch comes from.
+func (f *Fleet[T]) senderLoop(mc *memberConn) {
+	for {
+		select {
+		case <-mc.idle:
+		case <-mc.stop:
+			return
+		case <-f.done:
+			_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+			return
+		}
+		for {
+			jb, ids, ok := f.nextBatch(mc)
+			if !ok {
+				if f.fleetClosed() {
+					_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
+				}
+				return
+			}
+			if mc.stopped() {
+				// The member died while this sender waited for work;
+				// hand the vertices back for a live member.
+				f.requeue(jb, ids...)
+				return
+			}
+			if f.dispatch(mc, jb, ids) {
+				break
+			}
+			// Every drawn vertex was already finished or superseded; take
+			// the next batch without consuming another idle token.
+		}
+	}
+}
+
+func (f *Fleet[T]) fleetClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// nextBatch blocks until the policy can hand member mc a batch from some
+// job, the fleet closes, or the member stops. It returns the chosen job
+// and the drawn vertices (LIFO off the job's ready stack, never mixing
+// jobs), charging the job's fair-share account for the draw.
+func (f *Fleet[T]) nextBatch(mc *memberConn) (*job[T], []int32, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed || mc.stopped() {
+			return nil, nil, false
+		}
+		views := make([]JobView, len(f.order))
+		jobs := make([]*job[T], len(f.order))
+		for i, id := range f.order {
+			jb := f.jobs[id]
+			jobs[i] = jb
+			views[i] = JobView{
+				ID:       id,
+				Weight:   jb.req.Weight,
+				Priority: jb.req.Priority,
+				Ready:    len(jb.ready),
+				Inflight: jb.leases.Len(),
+				Quota:    jb.req.Quota,
+				Served:   jb.served,
+			}
+		}
+		if i := f.opts.Policy.Pick(views); i >= 0 {
+			jb := jobs[i]
+			n := f.opts.Batch
+			if q := views[i].Quota; q > 0 {
+				if room := q - views[i].Inflight; room < n {
+					n = room
+				}
+			}
+			if n < 1 {
+				n = 1
+			}
+			if n > len(jb.ready) {
+				n = len(jb.ready)
+			}
+			ids := make([]int32, n)
+			copy(ids, jb.ready[len(jb.ready)-n:])
+			jb.ready = jb.ready[:len(jb.ready)-n]
+			jb.served += float64(n) / jb.req.Weight
+			return jb, ids, true
+		}
+		f.cond.Wait()
+	}
+}
+
+// requeue puts vertices back on jb's ready stack and wakes senders.
+func (f *Fleet[T]) requeue(jb *job[T], ids ...int32) {
+	if len(ids) == 0 {
+		return
+	}
+	f.mu.Lock()
+	if _, running := f.jobs[jb.id]; running {
+		jb.ready = append(jb.ready, ids...)
+		// Requeues were already charged on first dispatch; refund so a
+		// job does not pay fair-share twice for work it never kept.
+		jb.served -= float64(len(ids)) / jb.req.Weight
+		jb.tr.Ready(len(jb.ready))
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// dispatch leases the drawn vertices of job jb to member mc and ships
+// them in one job-tagged message, attaching the job's spec first if this
+// member has never seen it. Returns false when every vertex turned out to
+// be already finished.
+func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
+	if jb.finished() {
+		return false
+	}
+	now := f.clock.Now()
+	entries := make([]comm.TaskEntry, 0, len(ids))
+	for _, v := range ids {
+		attempt, ok, backup := f.register(jb, mc.id, v)
+		if !ok {
+			continue
+		}
+		deps := jb.graph.Vertex(v).DataPre
+		positions := make([]dag.Pos, len(deps))
+		for k, d := range deps {
+			positions[k] = jb.geom.PosOf(d)
+		}
+		blocks := jb.store.Gather(positions)
+		payload, err := matrix.EncodeBlocks(jb.p.Codec, blocks)
+		if err != nil {
+			jb.finish(fmt.Errorf("fleet: encoding data region of vertex %d: %w", v, err), now)
+			f.retire(jb)
+			return true
+		}
+		deadline := now.Add(jb.req.TaskTimeout * time.Duration(len(entries)+1))
+		if backup {
+			jb.leases.Add(v, mc.id, attempt, now)
+			jb.ot.AddConcurrent(v, attempt, deadline)
+			jb.ctrs.Speculated.Add(1)
+			jb.tr.Speculate(mc.id, v)
+		} else {
+			jb.leases.Grant(v, mc.id, attempt, now)
+			jb.ot.Add(v, attempt, deadline)
+		}
+		jb.tr.TaskStart(mc.id, v)
+		jb.ctrs.Dispatches.Add(1)
+		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
+	}
+	if len(entries) == 0 {
+		return false
+	}
+	if err := f.attach(mc, jb); err != nil {
+		f.memberFailed(mc)
+		return true
+	}
+	bytes := 0
+	for _, e := range entries {
+		bytes += len(e.Payload)
+	}
+	jb.ctrs.TaskBytes.Add(int64(bytes))
+	jb.tr.Dispatch(mc.id, len(entries), bytes)
+	var msg comm.Message
+	if len(entries) == 1 {
+		msg = comm.Message{Kind: comm.KindTask, Job: jb.id, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
+	} else {
+		jb.ctrs.BatchMessages.Add(1)
+		msg = comm.Message{Kind: comm.KindTaskBatch, Job: jb.id, Batch: entries}
+	}
+	if err := mc.cn.Send(msg); err != nil {
+		// The pump (or heartbeat sweep) will revoke this member's
+		// leases, including the ones just granted; nothing to unwind.
+		f.memberFailed(mc)
+	}
+	return true
+}
+
+// attach ships jb's spec to mc if this member has not seen the job yet.
+// The connection is ordered, so the spec always precedes the job's tasks.
+func (f *Fleet[T]) attach(mc *memberConn, jb *job[T]) error {
+	mc.attachMu.Lock()
+	seen := mc.attached[jb.id]
+	if !seen {
+		mc.attached[jb.id] = true
+	}
+	mc.attachMu.Unlock()
+	if seen {
+		return nil
+	}
+	return mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta})
+}
+
+// memberFailed reports a send failure on mc's connection into the inbox.
+func (f *Fleet[T]) memberFailed(mc *memberConn) {
+	select {
+	case f.inbox <- event{member: mc.id, down: true}:
+	case <-f.done:
+	}
+}
+
+// register claims an attempt of v in job jb for a member — rt.Register
+// for an ordinary draw, a concurrent backup for a speculation-flagged
+// vertex (unless the member already holds a lease on v).
+func (f *Fleet[T]) register(jb *job[T], member int, v int32) (attempt int32, ok, backup bool) {
+	jb.specMu.Lock()
+	pending := jb.specPending[v]
+	delete(jb.specPending, v)
+	jb.specMu.Unlock()
+	if !pending {
+		a, ok := jb.rt.Register(v)
+		return a, ok, false
+	}
+	for _, l := range jb.leases.Holders(v) {
+		if l.Worker == member {
+			return 0, false, false
+		}
+	}
+	a, ok := jb.rt.RegisterBackup(v)
+	if !ok {
+		return 0, false, false
+	}
+	jb.specMu.Lock()
+	jb.backupOf[v] = a
+	jb.specMu.Unlock()
+	return a, true, true
+}
+
+// recvLoop serializes membership and result handling for the fleet's
+// lifetime.
+func (f *Fleet[T]) recvLoop() {
+	for {
+		select {
+		case <-f.done:
+			return
+		case ev := <-f.inbox:
+			if ev.down {
+				f.memberDown(ev.member)
+				continue
+			}
+			f.reg.Beat(ev.member) // any traffic proves liveness
+			switch ev.msg.Kind {
+			case comm.KindIdle:
+				f.signalIdle(ev.member)
+			case comm.KindHeartbeat:
+				f.echoHeartbeat(ev.member)
+			case comm.KindLeave:
+				f.memberLeave(ev.member)
+			case comm.KindHunger:
+				f.hungers.Add(1)
+				f.feedHungry(ev.member)
+			case comm.KindResult:
+				f.applyResult(ev.member, ev.msg.Job, ev.msg.Vertex, ev.msg.Attempt, ev.msg.Payload)
+				if !ev.msg.More {
+					f.signalIdle(ev.member)
+				}
+			case comm.KindResultBatch:
+				for _, e := range ev.msg.Batch {
+					f.applyResult(ev.member, ev.msg.Job, e.Vertex, e.Attempt, e.Payload)
+				}
+				if !ev.msg.More {
+					f.signalIdle(ev.member)
+				}
+			}
+		}
+	}
+}
+
+func (f *Fleet[T]) signalIdle(member int) {
+	f.connMu.Lock()
+	mc := f.conns[member]
+	f.connMu.Unlock()
+	if mc == nil {
+		return
+	}
+	select {
+	case mc.idle <- struct{}{}:
+	default:
+	}
+}
+
+func (f *Fleet[T]) echoHeartbeat(member int) {
+	f.connMu.Lock()
+	mc := f.conns[member]
+	f.connMu.Unlock()
+	if mc != nil {
+		_ = mc.cn.Send(comm.Message{Kind: comm.KindHeartbeat})
+	}
+}
+
+// feedHungry answers a worker's hunger beacon by stealing
+// queued-but-undispatched backlog toward it: across all running jobs,
+// the (job, victim) pair with the deepest member backlog gives up the
+// newer half of its batch entries, which are cancelled and requeued on
+// that job's ready stack, where the hungry member's blocked sender picks
+// them up under the same fair-share policy.
+func (f *Fleet[T]) feedHungry(member int) {
+	if !f.opts.Steal {
+		return
+	}
+	f.mu.Lock()
+	queued := 0
+	running := make([]*job[T], 0, len(f.order))
+	for _, id := range f.order {
+		jb := f.jobs[id]
+		queued += len(jb.ready)
+		running = append(running, jb)
+	}
+	f.mu.Unlock()
+	if queued > 0 {
+		// There is queued work already; the hungry member's sender is
+		// blocked in nextBatch and will draw it without help.
+		return
+	}
+	var victimJob *job[T]
+	victim, deepest := 0, 1
+	ownLoad := 0
+	for _, jb := range running {
+		ownLoad += jb.leases.Load(member)
+		for w, n := range jb.leases.Loads() {
+			if w != member && n > deepest {
+				victimJob, victim, deepest = jb, w, n
+			}
+		}
+	}
+	if ownLoad > 0 || victimJob == nil {
+		return
+	}
+	backlog := victimJob.leases.WorkerLeases(victim)
+	if len(backlog) < 2 {
+		return
+	}
+	stolen := make([]int32, 0, len(backlog)/2)
+	for _, l := range backlog[(len(backlog)+1)/2:] {
+		if victimJob.rt.LiveAttempts(l.Vertex) != 1 {
+			continue
+		}
+		victimJob.leases.ReleaseAttempt(l.Vertex, l.Attempt)
+		victimJob.ot.RemoveAttempt(l.Vertex, l.Attempt)
+		if victimJob.rt.CancelAttempt(l.Vertex, l.Attempt) == 0 {
+			stolen = append(stolen, l.Vertex)
+		}
+	}
+	if len(stolen) > 0 {
+		victimJob.ctrs.Steals.Add(int64(len(stolen)))
+		victimJob.tr.Steal(member, len(stolen))
+		f.requeue(victimJob, stolen...)
+	}
+}
+
+// applyResult commits one computed vertex to its job. Results for
+// unknown or finished jobs (a worker answering after the job retired)
+// are dropped.
+func (f *Fleet[T]) applyResult(member int, jobID, v, attempt int32, payload []byte) {
+	f.mu.Lock()
+	jb := f.jobs[jobID]
+	f.mu.Unlock()
+	if jb == nil {
+		f.stale.Add(1)
+		return
+	}
+	if !jb.rt.Accept(v, attempt) {
+		jb.ctrs.StaleResults.Add(1)
+		return
+	}
+	jb.ot.Remove(v)
+	now := f.clock.Now()
+	if l, ok := jb.leases.Find(v, attempt); ok {
+		jb.profile.Observe(now.Sub(l.Granted))
+	}
+	jb.leases.Release(v)
+	jb.specMu.Lock()
+	if backup, ok := jb.backupOf[v]; ok {
+		delete(jb.backupOf, v)
+		delete(jb.specPending, v)
+		if backup == attempt {
+			jb.ctrs.SpecWon.Add(1)
+		} else {
+			jb.ctrs.SpecWasted.Add(1)
+		}
+	}
+	jb.specMu.Unlock()
+	blocks, err := matrix.DecodeBlocks(jb.p.Codec, payload)
+	if err != nil || len(blocks) != 1 {
+		jb.finish(fmt.Errorf("fleet: bad result payload for vertex %d of job %q from member %d: %v", v, jb.req.Name, member, err), now)
+		f.retire(jb)
+		return
+	}
+	jb.store.Put(jb.geom.PosOf(v), blocks[0])
+	f.reg.NoteCompleted(member)
+	jb.tr.TaskEnd(member, v)
+	jb.ctrs.Tasks.Add(1)
+	if jb.ckpt != nil {
+		if err := jb.ckpt.Append(v, payload); err != nil {
+			jb.finish(err, now)
+			f.retire(jb)
+			return
+		}
+	}
+	newly := jb.parser.Complete(v)
+	jb.progress()
+	if jb.parser.Finished() {
+		jb.finish(nil, now)
+		f.retire(jb)
+		return
+	}
+	f.requeueReady(jb, newly)
+}
+
+// requeueReady pushes newly computable vertices onto jb's ready stack.
+// Unlike requeue it does not refund fair-share (these were never
+// dispatched).
+func (f *Fleet[T]) requeueReady(jb *job[T], ids []int32) {
+	if len(ids) == 0 {
+		return
+	}
+	f.mu.Lock()
+	if _, running := f.jobs[jb.id]; running {
+		jb.ready = append(jb.ready, ids...)
+		jb.tr.Ready(len(jb.ready))
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// memberDown declares a member dead and reassigns its leases across all
+// jobs. Idempotent, like the single-job master's.
+func (f *Fleet[T]) memberDown(member int) {
+	if !f.reg.MarkDead(member) {
+		return
+	}
+	f.revoke(member)
+}
+
+func (f *Fleet[T]) memberLeave(member int) {
+	if !f.reg.MarkLeft(member) {
+		return
+	}
+	f.revoke(member)
+}
+
+// revoke tears down a member's connection and, job by job, puts its
+// leased vertices back on that job's ready stack — each vertex returns
+// to the job it belongs to, never to another (no cross-job leakage).
+// Death revocations do not count toward any job's MaxAttempts.
+func (f *Fleet[T]) revoke(member int) {
+	f.connMu.Lock()
+	mc := f.conns[member]
+	delete(f.conns, member)
+	f.connMu.Unlock()
+	if mc != nil {
+		mc.close()
+		// Wake any sender blocked in nextBatch on this member.
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	running := make([]*job[T], 0, len(f.order))
+	for _, id := range f.order {
+		running = append(running, f.jobs[id])
+	}
+	f.mu.Unlock()
+	revoked, reassignedTotal := 0, 0
+	for _, jb := range running {
+		leases := jb.leases.RevokeWorker(member)
+		revoked += len(leases)
+		var requeue []int32
+		for _, l := range leases {
+			jb.ot.RemoveAttempt(l.Vertex, l.Attempt)
+			jb.noteAttemptGone(l.Vertex, l.Attempt)
+			if jb.rt.CancelAttempt(l.Vertex, l.Attempt) == 0 {
+				requeue = append(requeue, l.Vertex)
+			}
+		}
+		reassignedTotal += len(requeue)
+		f.requeue(jb, requeue...)
+	}
+	f.reg.NoteRevoked(revoked, reassignedTotal)
+}
+
+// controlLoop is the fleet's fault-tolerance thread: heartbeat sweeps at
+// the membership level, then per-job overtime expiry, deadline checks and
+// speculation flagging.
+func (f *Fleet[T]) controlLoop() {
+	ticker := f.clock.NewTicker(f.opts.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case now := <-ticker.C():
+			for _, id := range f.reg.Sweep(now, f.opts.HeartbeatInterval, f.opts.HeartbeatMiss) {
+				f.revoke(id)
+			}
+			f.mu.Lock()
+			running := make([]*job[T], 0, len(f.order))
+			for _, id := range f.order {
+				running = append(running, f.jobs[id])
+			}
+			f.mu.Unlock()
+			for _, jb := range running {
+				f.tickJob(jb, now)
+			}
+		}
+	}
+}
+
+// tickJob applies one control tick to one job: overtime expiry with the
+// job's own MaxAttempts cap (a poisoned job fails alone), the job
+// deadline, and speculation flagging. Requeues and failures stay inside
+// the job's lease/attempt namespace.
+func (f *Fleet[T]) tickJob(jb *job[T], now time.Time) {
+	if jb.finished() {
+		return
+	}
+	if !jb.deadline.IsZero() && now.After(jb.deadline) {
+		jb.finish(fmt.Errorf("fleet: job %q exceeded its %v timeout with %d vertices remaining",
+			jb.req.Name, jb.req.Timeout, jb.parser.Remaining()), now)
+		f.retire(jb)
+		return
+	}
+	var requeue []int32
+	for _, e := range jb.ot.ExpireBefore(now) {
+		jb.leases.ReleaseAttempt(e.ID, e.Attempt)
+		jb.noteAttemptGone(e.ID, e.Attempt)
+		jb.timeouts[e.ID]++
+		if jb.timeouts[e.ID] >= jb.req.MaxAttempts {
+			jb.finish(fmt.Errorf("fleet: job %q: vertex %d timed out %d times (MaxAttempts); giving up",
+				jb.req.Name, e.ID, jb.timeouts[e.ID]), now)
+			f.retire(jb)
+			return
+		}
+		if jb.rt.CancelAttempt(e.ID, e.Attempt) == 0 {
+			jb.ctrs.Redistributions.Add(1)
+			requeue = append(requeue, e.ID)
+		}
+	}
+	f.requeue(jb, requeue...)
+	if f.opts.Speculate {
+		f.maybeSpeculate(jb)
+	}
+}
+
+// maybeSpeculate flags jb's straggling attempts for backup dispatch,
+// with the same profile-threshold machinery as the single-job master but
+// a per-job budget, so one job's stragglers cannot spend the pool's
+// entire speculation allowance.
+func (f *Fleet[T]) maybeSpeculate(jb *job[T]) {
+	f.mu.Lock()
+	queued := len(jb.ready)
+	f.mu.Unlock()
+	if queued > 0 {
+		return
+	}
+	threshold, ok := jb.profile.Threshold(
+		f.opts.SpecQuantile, f.opts.SpecMultiplier, f.opts.SpecFloor, f.opts.SpecMinSamples)
+	if !ok {
+		return
+	}
+	budget := f.reg.Live()
+	var flagged []int32
+	for _, l := range jb.leases.OlderThan(f.clock.Now().Add(-threshold)) {
+		if budget == 0 {
+			break
+		}
+		if jb.rt.LiveAttempts(l.Vertex) != 1 {
+			continue
+		}
+		jb.specMu.Lock()
+		skip := jb.specPending[l.Vertex]
+		if !skip {
+			jb.specPending[l.Vertex] = true
+		}
+		jb.specMu.Unlock()
+		if skip {
+			continue
+		}
+		flagged = append(flagged, l.Vertex)
+		budget--
+	}
+	f.requeueReady(jb, flagged)
+}
+
+// TraceEvents returns the recorded scheduling events of the named job
+// (running or retained), or nil when unknown.
+func (f *Fleet[T]) TraceEvents(name string) []trace.Event {
+	f.mu.Lock()
+	var found *job[T]
+	for _, id := range f.order {
+		if jb := f.jobs[id]; jb.req.Name == name {
+			found = jb
+		}
+	}
+	if found == nil {
+		for _, jb := range f.doneLog {
+			if jb.req.Name == name {
+				found = jb // latest retained wins
+			}
+		}
+	}
+	f.mu.Unlock()
+	if found == nil {
+		return nil
+	}
+	return found.tr.Events()
+}
+
+// Snapshot assembles the monitoring view: per-job progress and deficit,
+// job-state counts, aggregate queue depth and hunger count, membership,
+// and the race-free roll-up of every job's Stats.
+func (f *Fleet[T]) Snapshot() Snapshot {
+	f.mu.Lock()
+	type row struct {
+		jb     *job[T]
+		ready  int
+		served float64
+	}
+	rows := make([]row, 0, len(f.order)+len(f.doneLog))
+	queueDepth := 0
+	maxServed := 0.0
+	for _, id := range f.order {
+		jb := f.jobs[id]
+		rows = append(rows, row{jb, len(jb.ready), jb.served})
+		queueDepth += len(jb.ready)
+		if jb.served > maxServed {
+			maxServed = jb.served
+		}
+	}
+	running := len(rows)
+	for _, jb := range f.doneLog {
+		rows = append(rows, row{jb, 0, jb.served})
+	}
+	f.mu.Unlock()
+
+	s := Snapshot{
+		States:     map[string]int{"running": 0, "done": 0, "failed": 0},
+		QueueDepth: queueDepth,
+		Hungers:    f.hungers.Load(),
+		Members:    f.reg.Metrics(),
+	}
+	for i, r := range rows {
+		jb := r.jb
+		st := JobStatus{
+			ID:       jb.id,
+			Name:     jb.req.Name,
+			Done:     jb.graph.N - jb.parser.Remaining(),
+			Total:    jb.graph.N,
+			Ready:    r.ready,
+			Inflight: jb.leases.Len(),
+			Weight:   jb.req.Weight,
+			Priority: jb.req.Priority,
+			Stats:    jb.stats(),
+		}
+		if i < running {
+			st.State = "running"
+			st.Deficit = maxServed - r.served
+		} else if jb.finalErr() != nil {
+			st.State = "failed"
+		} else {
+			st.State = "done"
+		}
+		s.States[st.State]++
+		s.Aggregate.Add(st.Stats)
+		s.Jobs = append(s.Jobs, st)
+	}
+	joins, leaves, deaths, revoked, reassigned := f.reg.MembershipCounts()
+	s.Aggregate.Joins = joins
+	s.Aggregate.Leaves = leaves
+	s.Aggregate.Deaths = deaths
+	s.Aggregate.LeasesRevoked = revoked
+	s.Aggregate.Reassigned = reassigned
+	return s
+}

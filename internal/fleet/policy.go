@@ -1,0 +1,72 @@
+package fleet
+
+// JobView is the scheduler's snapshot of one runnable job, assembled by
+// the fleet under its lock each time an idle worker asks for work.
+type JobView struct {
+	// ID is the fleet-assigned job id (the one task frames carry).
+	ID int32
+	// Weight is the job's fair-share weight; a weight-2 job is entitled
+	// to twice the dispatch share of a weight-1 job.
+	Weight float64
+	// Priority is the job's priority class. Eligible jobs of a higher
+	// class always dispatch before lower classes; fair-share applies
+	// within a class.
+	Priority int
+	// Ready is the number of computable vertices queued for the job.
+	Ready int
+	// Inflight is the number of leased attempts currently outstanding.
+	Inflight int
+	// Quota caps Inflight (0 = unlimited): the per-tenant isolation
+	// bound that keeps one job — including its retries and speculative
+	// backups — from saturating the pool.
+	Quota int
+	// Served is the job's normalized service so far: vertices dispatched
+	// divided by Weight. The deficit of a job is the gap between the
+	// most-served job's Served and its own.
+	Served float64
+}
+
+// Eligible reports whether the job may be handed work right now.
+func (v JobView) Eligible() bool {
+	return v.Ready > 0 && (v.Quota <= 0 || v.Inflight < v.Quota)
+}
+
+// Policy picks which job feeds the next ready batch to an idle worker.
+// Pick returns the index into views of the chosen job, or -1 when no job
+// is eligible. Implementations are called under the fleet's lock and must
+// not block.
+type Policy interface {
+	Pick(views []JobView) int
+}
+
+// FairShare is the default policy: among eligible jobs of the highest
+// priority class, dispatch to the one with the smallest normalized
+// service (dispatched/weight) — weighted max-min fairness by
+// outstanding-vertex deficit. Two jobs of equal weight converge to equal
+// dispatch counts; skewed weights converge to the weight ratio; a job
+// at its quota or with nothing ready simply drops out of the contest
+// without blocking the others.
+type FairShare struct{}
+
+// Pick implements Policy.
+func (FairShare) Pick(views []JobView) int {
+	best := -1
+	for i, v := range views {
+		if !v.Eligible() {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := views[best]
+		switch {
+		case v.Priority > b.Priority:
+			best = i
+		case v.Priority < b.Priority:
+		case v.Served < b.Served:
+			best = i
+		}
+	}
+	return best
+}

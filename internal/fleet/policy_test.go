@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFairShareWeightedConvergence simulates the dispatch loop over two
+// jobs with skewed weights: each pick charges the chosen job 1/Weight of
+// normalized service, exactly as nextBatch does. The dispatch counts must
+// converge to the weight ratio and the deficit (gap between normalized
+// services) must stay bounded by one dispatch quantum.
+func TestFairShareWeightedConvergence(t *testing.T) {
+	views := []JobView{
+		{ID: 1, Weight: 1, Ready: 1 << 20},
+		{ID: 2, Weight: 3, Ready: 1 << 20},
+	}
+	var p FairShare
+	counts := make([]int, len(views))
+	const picks = 4000
+	for i := 0; i < picks; i++ {
+		j := p.Pick(views)
+		if j < 0 {
+			t.Fatalf("pick %d: no job chosen with both eligible", i)
+		}
+		counts[j]++
+		views[j].Served += 1 / views[j].Weight
+	}
+	// 1:3 weights over 4000 picks → 1000:3000, within float drift.
+	if got, want := counts[1], 3*counts[0]; math.Abs(float64(got-want)) > 4 {
+		t.Fatalf("dispatch counts %v do not match the 1:3 weight ratio", counts)
+	}
+	// The deficit never exceeds one dispatch quantum of the lightest job.
+	if d := math.Abs(views[0].Served - views[1].Served); d > 1+1e-9 {
+		t.Fatalf("normalized service diverged: |%v - %v| = %v", views[0].Served, views[1].Served, d)
+	}
+}
+
+// TestFairShareEqualWeightsAlternate pins the tie-break: equal weights
+// alternate strictly (ties keep the earlier submission).
+func TestFairShareEqualWeightsAlternate(t *testing.T) {
+	views := []JobView{
+		{ID: 1, Weight: 1, Ready: 10},
+		{ID: 2, Weight: 1, Ready: 10},
+	}
+	var p FairShare
+	want := []int{0, 1, 0, 1, 0, 1}
+	for i, w := range want {
+		j := p.Pick(views)
+		if j != w {
+			t.Fatalf("pick %d = job index %d, want %d", i, j, w)
+		}
+		views[j].Served++
+	}
+}
+
+// TestFairSharePriorityClasses verifies a higher class preempts the
+// fair-share contest entirely while it has eligible work, and the lower
+// class resumes when it drains.
+func TestFairSharePriorityClasses(t *testing.T) {
+	views := []JobView{
+		{ID: 1, Weight: 1, Priority: 0, Ready: 5},
+		{ID: 2, Weight: 1, Priority: 2, Ready: 2, Served: 100},
+	}
+	var p FairShare
+	// Despite its huge served tally, the priority-2 job dispatches first.
+	for i := 0; i < 2; i++ {
+		if j := p.Pick(views); j != 1 {
+			t.Fatalf("pick %d = job index %d, want the priority-2 job", i, j)
+		}
+		views[1].Served++
+		views[1].Ready--
+	}
+	if j := p.Pick(views); j != 0 {
+		t.Fatalf("drained high class: pick = %d, want the priority-0 job", j)
+	}
+}
+
+// TestFairShareQuotaEligibility verifies the isolation bound: a job at
+// its in-flight quota drops out of the contest without blocking others,
+// and Pick returns -1 when nothing is eligible.
+func TestFairShareQuotaEligibility(t *testing.T) {
+	views := []JobView{
+		{ID: 1, Weight: 1, Ready: 9, Inflight: 4, Quota: 4}, // at quota
+		{ID: 2, Weight: 1, Ready: 0, Inflight: 0, Quota: 4}, // nothing ready
+		{ID: 3, Weight: 1, Ready: 1, Inflight: 3, Quota: 4, Served: 50},
+	}
+	var p FairShare
+	if j := p.Pick(views); j != 2 {
+		t.Fatalf("pick = %d, want the only eligible job (index 2)", j)
+	}
+	views[2].Inflight = 4
+	if j := p.Pick(views); j != -1 {
+		t.Fatalf("pick = %d, want -1 with every job at quota or empty", j)
+	}
+	// Unlimited quota (0) never blocks on inflight.
+	views[0].Quota = 0
+	if j := p.Pick(views); j != 0 {
+		t.Fatalf("pick = %d, want the unlimited-quota job", j)
+	}
+}

@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// WorkerOptions configures one fleet worker process.
+type WorkerOptions struct {
+	// Addr is the fleet master's address.
+	Addr string
+	// Name labels this member in the fleet's logs and metrics.
+	Name string
+	// HeartbeatInterval is the beacon period; must match (or undercut)
+	// the fleet's (default 250 ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss sizes the worker-side read-idle bound (default 3).
+	HeartbeatMiss int
+	// DialTimeout bounds dialing plus handshake (default 10 s).
+	DialTimeout time.Duration
+	// Run carries the worker-local compute configuration (Threads,
+	// WorkDelayPerCell, Batch flush bound, ...). Partition sizes come
+	// from each job's attach frame, never from here.
+	Run core.Config
+	// TaskDelay, when non-nil, is consulted before each task executes;
+	// the fault-injection hook for slowing a member down.
+	TaskDelay func() time.Duration
+	// HungerAfter, when positive, announces hunger after this long
+	// without a task arriving (the fleet acts only when its Steal
+	// option is on). Zero disables.
+	HungerAfter time.Duration
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if o.HeartbeatMiss < 1 {
+		o.HeartbeatMiss = 3
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Builder turns an attach frame's JobMeta back into the job's Problem —
+// the worker-side half of the per-job spec handshake. The fleet worker
+// verifies the meta digest and the built problem's size before accepting
+// tasks, so a builder that diverges from the master's is refused at
+// attach time.
+type Builder[T any] func(meta JobMeta) (core.Problem[T], error)
+
+// RunWorker joins the shared fleet at opts.Addr and computes tasks for
+// any number of concurrent jobs until the fleet dismisses it (nil), the
+// connection dies (error), or ctx is cancelled (a Leave frame goes out
+// first). Kernel state is attached per job on the first job-spec frame
+// and detached on job-end, so the worker's footprint follows the set of
+// jobs it is actively serving.
+func RunWorker[T any](ctx context.Context, build Builder[T], opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	if build == nil {
+		return fmt.Errorf("fleet: RunWorker needs a job builder")
+	}
+	cn, welcome, err := comm.DialHello(opts.Addr, comm.Hello{
+		Fleet: true,
+		Name:  opts.Name,
+	}, opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer cn.Close()
+	member := welcome.Member
+	idle := time.Duration(opts.HeartbeatMiss+1) * opts.HeartbeatInterval
+	cn.SetReadIdle(idle)
+	cn.SetWriteTimeout(idle)
+
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// Beacon: prove liveness and provoke the echoes that feed this
+	// side's read-idle bound.
+	go func() {
+		ticker := time.NewTicker(opts.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if cn.Send(comm.Message{Kind: comm.KindHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	// Graceful leave on cancellation.
+	go func() {
+		select {
+		case <-stop:
+		case <-ctx.Done():
+			_ = cn.Send(comm.Message{Kind: comm.KindLeave})
+			cn.Close()
+		}
+	}()
+
+	// Hunger beacon, identical to the elastic worker's.
+	var activity chan struct{}
+	if opts.HungerAfter > 0 {
+		activity = make(chan struct{}, 1)
+		go func() {
+			timer := time.NewTimer(opts.HungerAfter)
+			defer timer.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-activity:
+					if !timer.Stop() {
+						select {
+						case <-timer.C:
+						default:
+						}
+					}
+					timer.Reset(opts.HungerAfter)
+				case <-timer.C:
+					if cn.Send(comm.Message{Kind: comm.KindHunger}) != nil {
+						return
+					}
+					timer.Reset(opts.HungerAfter)
+				}
+			}
+		}()
+	}
+	noteActivity := func() {
+		if activity != nil {
+			select {
+			case activity <- struct{}{}:
+			default:
+			}
+		}
+	}
+
+	// runners holds the attached jobs' kernel state; only the recv loop
+	// touches it.
+	runners := make(map[int32]*core.TaskRunner[T])
+	runnerFor := func(job int32) (*core.TaskRunner[T], error) {
+		r, ok := runners[job]
+		if !ok {
+			// The connection is ordered, so a task frame for an
+			// unattached job means protocol corruption, not a race.
+			return nil, fmt.Errorf("fleet: member %d received task for unattached job %d", member, job)
+		}
+		return r, nil
+	}
+	runOne := func(r *core.TaskRunner[T], vertex int32, payload []byte) ([]byte, error) {
+		if opts.TaskDelay != nil {
+			if d := opts.TaskDelay(); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		return r.Run(vertex, payload)
+	}
+
+	if err := cn.Send(comm.Message{Kind: comm.KindIdle}); err != nil {
+		return fmt.Errorf("fleet: member %d announcing idle: %w", member, err)
+	}
+	for {
+		msg, err := cn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fleet: member %d lost master: %w", member, err)
+		}
+		switch msg.Kind {
+		case comm.KindJobSpec:
+			var meta JobMeta
+			if err := json.Unmarshal(msg.Payload, &meta); err != nil {
+				return fmt.Errorf("fleet: member %d decoding job spec: %w", member, err)
+			}
+			if got := meta.digest(); got != meta.Digest {
+				return fmt.Errorf("fleet: member %d: job %q spec digest mismatch (%s != %s)", member, meta.Name, got, meta.Digest)
+			}
+			if _, ok := runners[meta.Job]; ok {
+				break // re-attach of a job we already hold
+			}
+			p, err := build(meta)
+			if err != nil {
+				return fmt.Errorf("fleet: member %d building job %q: %w", member, meta.Name, err)
+			}
+			if p.Size.Rows != meta.Rows || p.Size.Cols != meta.Cols {
+				return fmt.Errorf("fleet: member %d: job %q builder produced size %v, master dispatched against %dx%d (builder/registry skew)",
+					member, meta.Name, p.Size, meta.Rows, meta.Cols)
+			}
+			cfg := opts.Run
+			cfg.ProcPartition = meta.Proc
+			if meta.Thread.Valid() {
+				cfg.ThreadPartition = meta.Thread
+			}
+			if cfg.Threads < 1 {
+				cfg.Threads = 1
+			}
+			r, err := core.NewTaskRunner(p, cfg)
+			if err != nil {
+				return fmt.Errorf("fleet: member %d preparing job %q: %w", member, meta.Name, err)
+			}
+			runners[meta.Job] = r
+		case comm.KindJobEnd:
+			delete(runners, msg.Job)
+		case comm.KindTask:
+			noteActivity()
+			r, err := runnerFor(msg.Job)
+			if err != nil {
+				return err
+			}
+			out, err := runOne(r, msg.Vertex, msg.Payload)
+			if err != nil {
+				// A compute failure is fatal for this member; dying
+				// loudly lets the fleet's revocation path reassign the
+				// vertex.
+				return fmt.Errorf("fleet: member %d computing vertex %d of job %d: %w", member, msg.Vertex, msg.Job, err)
+			}
+			if err := cn.Send(comm.Message{Kind: comm.KindResult, Job: msg.Job, Vertex: msg.Vertex, Attempt: msg.Attempt, Payload: out}); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("fleet: member %d sending result of vertex %d: %w", member, msg.Vertex, err)
+			}
+			noteActivity() // idleness starts at completion
+		case comm.KindTaskBatch:
+			noteActivity()
+			r, err := runnerFor(msg.Job)
+			if err != nil {
+				return err
+			}
+			// Entries never mix jobs; execute in order through the job's
+			// runner, flushing coalesced results every flushBound
+			// entries with More set, exactly like the elastic worker.
+			flushBound := opts.Run.Batch
+			if flushBound < 1 {
+				flushBound = 1
+			}
+			var results []comm.TaskEntry
+			for idx, e := range msg.Batch {
+				out, err := runOne(r, e.Vertex, e.Payload)
+				if err != nil {
+					return fmt.Errorf("fleet: member %d computing vertex %d of job %d: %w", member, e.Vertex, msg.Job, err)
+				}
+				results = append(results, comm.TaskEntry{Vertex: e.Vertex, Attempt: e.Attempt, Payload: out})
+				if len(results) >= flushBound && idx < len(msg.Batch)-1 {
+					if err := cn.Send(comm.Message{Kind: comm.KindResultBatch, Job: msg.Job, Batch: results, More: true}); err != nil {
+						if ctx.Err() != nil {
+							return ctx.Err()
+						}
+						return fmt.Errorf("fleet: member %d flushing batch results: %w", member, err)
+					}
+					results = nil
+				}
+			}
+			var final comm.Message
+			switch len(results) {
+			case 0:
+				final = comm.Message{Kind: comm.KindIdle}
+			case 1:
+				final = comm.Message{Kind: comm.KindResult, Job: msg.Job, Vertex: results[0].Vertex, Attempt: results[0].Attempt, Payload: results[0].Payload}
+			default:
+				final = comm.Message{Kind: comm.KindResultBatch, Job: msg.Job, Batch: results}
+			}
+			if err := cn.Send(final); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("fleet: member %d sending batch results: %w", member, err)
+			}
+			noteActivity()
+		case comm.KindHeartbeat:
+			// The fleet's echo of our beacon.
+		case comm.KindEnd:
+			return nil
+		}
+	}
+}

@@ -30,6 +30,7 @@ func NewCtxSelect() *CtxSelect {
 		"internal/server",
 		"internal/comm",
 		"internal/cluster",
+		"internal/fleet",
 	}}
 }
 

@@ -14,6 +14,7 @@ import (
 //	GET    /v1/jobs           list jobs                   -> 200 []JobStatus
 //	GET    /v1/jobs/{id}      job state + progress        -> 200 JobStatus
 //	GET    /v1/jobs/{id}/result                           -> 200 JobResult
+//	GET    /v1/jobs/{id}/trace   scheduling trace (fleet) -> 200 []trace.JSONEvent
 //	DELETE /v1/jobs/{id}      cancel                      -> 202 JobStatus
 //	GET    /v1/kernels        registry listing            -> 200 []KernelEntry
 //	GET    /metrics           text exposition             -> 200 text/plain
@@ -34,6 +35,7 @@ func NewHandler(mgr *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", a.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", a.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", a.trace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /v1/kernels", a.kernels)
 	mux.HandleFunc("GET /metrics", a.metrics)
@@ -71,7 +73,7 @@ func (a *API) writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	case errors.Is(err, ErrShuttingDown):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoTrace):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone), errors.Is(err, ErrFinished):
 		code = http.StatusConflict
@@ -118,6 +120,15 @@ func (a *API) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *API) trace(w http.ResponseWriter, r *http.Request) {
+	evs, err := a.mgr.Trace(r.PathValue("id"))
+	if err != nil {
+		a.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 func (a *API) cancel(w http.ResponseWriter, r *http.Request) {

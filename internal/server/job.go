@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 // State is a job lifecycle state. The machine is
@@ -153,8 +154,16 @@ type ManagerConfig struct {
 	// Run is the shared cluster deployment every job executes on:
 	// Slaves x Threads with the configured partition sizes. The manager
 	// owns this deployment for its whole lifetime; jobs never choose
-	// their own.
+	// their own. In fleet mode only the partition sizes and RunTimeout
+	// apply (workers bring their own thread counts).
 	Run core.Config
+	// Fleet, when non-nil, routes every job onto this shared fleet
+	// instead of the in-process deployment: elastic workers join the
+	// fleet over TCP, the fleet's policy interleaves all admitted jobs
+	// over the one pool, and the run slots become pure admission control
+	// (a slot is held while its job is in flight on the fleet). The
+	// manager does not own the fleet; the caller closes it.
+	Fleet *fleet.Fleet[int32]
 	// MaxConcurrent is the number of run slots — jobs executing on the
 	// cluster at once. Default 2.
 	MaxConcurrent int
@@ -218,6 +227,11 @@ type Manager struct {
 	clusterMu    sync.Mutex
 	clusterStats func() cluster.Snapshot
 
+	// fleetMu guards fleetStats, the snapshot source of the attached
+	// shared fleet (set automatically from cfg.Fleet; see SetFleetStats).
+	fleetMu    sync.Mutex
+	fleetStats func() fleet.Snapshot
+
 	mu       sync.Mutex
 	seq      uint64
 	jobs     map[string]*Job
@@ -243,6 +257,9 @@ func NewManager(cfg ManagerConfig, reg *Registry) *Manager {
 		jobs:       make(map[string]*Job),
 		running:    make(map[string]*Job),
 		metrics:    newMetrics(),
+	}
+	if cfg.Fleet != nil {
+		m.fleetStats = cfg.Fleet.Snapshot
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
@@ -436,8 +453,9 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job through core.RunContext, translating the outcome
-// into the job state machine.
+// run executes one job — through core.RunContext on the in-process
+// deployment, or through Fleet.Run when a shared fleet is attached —
+// translating the outcome into the job state machine.
 func (m *Manager) run(j *Job) {
 	ctx, cancel := context.WithCancel(m.rootCtx)
 	defer cancel()
@@ -457,12 +475,18 @@ func (m *Manager) run(j *Job) {
 	m.running[j.ID] = j
 	m.mu.Unlock()
 
-	cfg := m.cfg.Run
-	cfg.Progress = func(completed, total int) {
-		j.completed.Store(int64(completed))
-		j.total.Store(int64(total))
+	var res *core.Result[int32]
+	var err error
+	if m.cfg.Fleet != nil {
+		res, err = m.runFleet(ctx, j)
+	} else {
+		cfg := m.cfg.Run
+		cfg.Progress = func(completed, total int) {
+			j.completed.Store(int64(completed))
+			j.total.Store(int64(total))
+		}
+		res, err = core.RunContext(ctx, j.problem, cfg)
 	}
-	res, err := core.RunContext(ctx, j.problem, cfg)
 
 	m.mu.Lock()
 	delete(m.running, j.ID)

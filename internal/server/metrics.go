@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-job latency
@@ -98,6 +99,16 @@ func (m *Manager) SetClusterStats(fn func() cluster.Snapshot) {
 	m.clusterMu.Unlock()
 }
 
+// SetFleetStats attaches a shared-fleet snapshot source to the /metrics
+// exposition (NewManager installs cfg.Fleet's automatically; tests may
+// inject a synthetic one). A nil fn detaches it. fn is called at
+// exposition time and must be safe for concurrent use.
+func (m *Manager) SetFleetStats(fn func() fleet.Snapshot) {
+	m.fleetMu.Lock()
+	m.fleetStats = fn
+	m.fleetMu.Unlock()
+}
+
 // WriteMetrics writes the text exposition (Prometheus-compatible format)
 // of the manager's metrics.
 func (m *Manager) WriteMetrics(w io.Writer) {
@@ -169,14 +180,24 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 		specWon += s.SpecWon
 		specWasted += s.SpecWasted
 		steals += s.Steals
-		fmt.Fprintf(w, "# HELP easyhps_cluster_members Elastic cluster members by state.\n# TYPE easyhps_cluster_members gauge\n")
-		for _, state := range []string{"active", "suspect", "dead", "left"} {
-			fmt.Fprintf(w, "easyhps_cluster_members{state=%q} %d\n", state, s.States[state])
+		writeMembership(w, s)
+	}
+
+	m.fleetMu.Lock()
+	fleetFn := m.fleetStats
+	m.fleetMu.Unlock()
+	if fleetFn != nil {
+		snap := fleetFn()
+		speculated += snap.Aggregate.Speculated
+		specWon += snap.Aggregate.SpecWon
+		specWasted += snap.Aggregate.SpecWasted
+		steals += snap.Aggregate.Steals
+		if clusterFn == nil {
+			// The fleet's membership registry plays the cluster role; reuse
+			// the cluster series so dashboards work in either mode.
+			writeMembership(w, snap.Members)
 		}
-		fmt.Fprintf(w, "# HELP easyhps_cluster_joins_total Workers admitted into the elastic cluster.\n# TYPE easyhps_cluster_joins_total counter\neasyhps_cluster_joins_total %d\n", s.Joins)
-		fmt.Fprintf(w, "# HELP easyhps_cluster_leaves_total Graceful departures from the elastic cluster.\n# TYPE easyhps_cluster_leaves_total counter\neasyhps_cluster_leaves_total %d\n", s.Leaves)
-		fmt.Fprintf(w, "# HELP easyhps_cluster_deaths_total Members declared dead (heartbeat loss or connection failure).\n# TYPE easyhps_cluster_deaths_total counter\neasyhps_cluster_deaths_total %d\n", s.Deaths)
-		fmt.Fprintf(w, "# HELP easyhps_cluster_leases_revoked_total Task leases revoked by member death or leave.\n# TYPE easyhps_cluster_leases_revoked_total counter\neasyhps_cluster_leases_revoked_total %d\n", s.LeasesRevoked)
+		writeFleet(w, snap)
 	}
 
 	fmt.Fprintf(w, "# HELP easyhps_speculative_dispatched_total Speculative backup attempts dispatched.\n# TYPE easyhps_speculative_dispatched_total counter\neasyhps_speculative_dispatched_total %d\n", speculated)
@@ -192,6 +213,64 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	x.histMu.Lock()
 	counts, sum, n := x.histCount, x.histSum, x.histN
 	x.histMu.Unlock()
+	writeLatencyHistogram(w, counts, sum, n)
+}
+
+// writeMembership emits the elastic-membership series shared by cluster
+// and fleet mode.
+func writeMembership(w io.Writer, s cluster.Snapshot) {
+	fmt.Fprintf(w, "# HELP easyhps_cluster_members Elastic cluster members by state.\n# TYPE easyhps_cluster_members gauge\n")
+	for _, state := range []string{"active", "suspect", "dead", "left"} {
+		fmt.Fprintf(w, "easyhps_cluster_members{state=%q} %d\n", state, s.States[state])
+	}
+	fmt.Fprintf(w, "# HELP easyhps_cluster_joins_total Workers admitted into the elastic cluster.\n# TYPE easyhps_cluster_joins_total counter\neasyhps_cluster_joins_total %d\n", s.Joins)
+	fmt.Fprintf(w, "# HELP easyhps_cluster_leaves_total Graceful departures from the elastic cluster.\n# TYPE easyhps_cluster_leaves_total counter\neasyhps_cluster_leaves_total %d\n", s.Leaves)
+	fmt.Fprintf(w, "# HELP easyhps_cluster_deaths_total Members declared dead (heartbeat loss or connection failure).\n# TYPE easyhps_cluster_deaths_total counter\neasyhps_cluster_deaths_total %d\n", s.Deaths)
+	fmt.Fprintf(w, "# HELP easyhps_cluster_leases_revoked_total Task leases revoked by member death or leave.\n# TYPE easyhps_cluster_leases_revoked_total counter\neasyhps_cluster_leases_revoked_total %d\n", s.LeasesRevoked)
+}
+
+// writeFleet emits the shared-fleet section: job-state counts, the
+// autoscaling signals (aggregate queue depth, hunger beacons, per-job
+// deficit), and per-job labelled progress and straggler counters.
+func writeFleet(w io.Writer, snap fleet.Snapshot) {
+	fmt.Fprintf(w, "# HELP easyhps_fleet_jobs Fleet jobs by state (finished states bounded by the retention window).\n# TYPE easyhps_fleet_jobs gauge\n")
+	for _, state := range []string{"running", "done", "failed"} {
+		fmt.Fprintf(w, "easyhps_fleet_jobs{state=%q} %d\n", state, snap.States[state])
+	}
+	fmt.Fprintf(w, "# HELP easyhps_fleet_queue_depth Computable vertices queued across running jobs — work the pool has not absorbed.\n# TYPE easyhps_fleet_queue_depth gauge\neasyhps_fleet_queue_depth %d\n", snap.QueueDepth)
+	fmt.Fprintf(w, "# HELP easyhps_fleet_hunger_total Hunger beacons received from idle workers.\n# TYPE easyhps_fleet_hunger_total counter\neasyhps_fleet_hunger_total %d\n", snap.Hungers)
+
+	if len(snap.Jobs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_vertices_done Completed DAG vertices per fleet job.\n# TYPE easyhps_job_vertices_done gauge\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_vertices_done{job=%q} %d\n", j.Name, j.Done)
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_vertices_total DAG size per fleet job.\n# TYPE easyhps_job_vertices_total gauge\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_vertices_total{job=%q} %d\n", j.Name, j.Total)
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_deficit Fair-share service debt per running fleet job (normalized dispatches behind the most-served job).\n# TYPE easyhps_job_deficit gauge\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_deficit{job=%q} %g\n", j.Name, j.Deficit)
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_speculated_total Speculative backup attempts dispatched per fleet job.\n# TYPE easyhps_job_speculated_total counter\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_speculated_total{job=%q} %d\n", j.Name, j.Stats.Speculated)
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_steals_total Vertices stolen toward hungry workers per fleet job.\n# TYPE easyhps_job_steals_total counter\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_steals_total{job=%q} %d\n", j.Name, j.Stats.Steals)
+	}
+	fmt.Fprintf(w, "# HELP easyhps_job_redistributions_total Overtime redistributions per fleet job.\n# TYPE easyhps_job_redistributions_total counter\n")
+	for _, j := range snap.Jobs {
+		fmt.Fprintf(w, "easyhps_job_redistributions_total{job=%q} %d\n", j.Name, j.Stats.Redistributions)
+	}
+}
+
+// writeLatencyHistogram emits the per-job latency histogram.
+func writeLatencyHistogram(w io.Writer, counts [12]int64, sum float64, n int64) {
 	fmt.Fprintf(w, "# HELP easyhps_job_latency_seconds Run latency of finished jobs.\n# TYPE easyhps_job_latency_seconds histogram\n")
 	cum := int64(0)
 	for i, le := range latencyBuckets {

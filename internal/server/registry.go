@@ -35,6 +35,13 @@ type JobSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Capacity is the knapsack capacity (defaults to 4*N).
 	Capacity int `json:"capacity,omitempty"`
+	// Weight and Priority are the fair-share scheduling knobs of fleet
+	// mode: Weight skews this job's share of the pool (<= 0 means 1) and
+	// a higher Priority class dispatches before lower ones entirely.
+	// Ignored by the in-process deployment, which runs jobs on dedicated
+	// slots.
+	Weight   float64 `json:"weight,omitempty"`
+	Priority int     `json:"priority,omitempty"`
 }
 
 // JobResult is the answer of a finished job: the kernel's headline scalar

@@ -35,6 +35,28 @@ const (
 	EvSteal
 )
 
+// String names the kind for human-readable exports (the job service's
+// trace endpoint); unknown values print as "unknown".
+func (k EventKind) String() string {
+	switch k {
+	case EvStart:
+		return "start"
+	case EvEnd:
+		return "end"
+	case EvReady:
+		return "ready"
+	case EvMember:
+		return "member"
+	case EvDispatch:
+		return "dispatch"
+	case EvSpeculate:
+		return "speculate"
+	case EvSteal:
+		return "steal"
+	}
+	return "unknown"
+}
+
 // Event is one recorded scheduling event.
 type Event struct {
 	T      time.Duration // since recorder creation
@@ -44,6 +66,41 @@ type Event struct {
 	Ready  int    // ready-set size for EvReady; batch size for EvDispatch
 	Bytes  int    // payload bytes, for EvDispatch
 	Label  string // membership state, for EvMember
+}
+
+// JSONEvent is the export shape of one event on the job service's trace
+// endpoint: the kind as its string name, the timestamp in microseconds,
+// and zero-valued fields omitted, so a stream of events stays compact.
+type JSONEvent struct {
+	TMicros int64  `json:"t_us"`
+	Kind    string `json:"kind"`
+	Worker  int    `json:"worker,omitempty"`
+	Vertex  int32  `json:"vertex,omitempty"`
+	Ready   int    `json:"ready,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	Label   string `json:"label,omitempty"`
+}
+
+// JSON converts the event for export.
+func (e Event) JSON() JSONEvent {
+	return JSONEvent{
+		TMicros: e.T.Microseconds(),
+		Kind:    e.Kind.String(),
+		Worker:  e.Worker,
+		Vertex:  e.Vertex,
+		Ready:   e.Ready,
+		Bytes:   e.Bytes,
+		Label:   e.Label,
+	}
+}
+
+// ExportJSON converts a recording for the trace endpoint.
+func ExportJSON(events []Event) []JSONEvent {
+	out := make([]JSONEvent, len(events))
+	for i, e := range events {
+		out[i] = e.JSON()
+	}
+	return out
 }
 
 // Recorder collects events. A nil *Recorder is valid and records nothing,

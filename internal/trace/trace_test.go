@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -132,5 +133,36 @@ func TestGanttOpenIntervalRunsToEdge(t *testing.T) {
 	r.Gantt(&buf, 20)
 	if !strings.Contains(buf.String(), "####") {
 		t.Fatalf("open interval not rendered:\n%s", buf.String())
+	}
+}
+
+func TestEventJSONExport(t *testing.T) {
+	r := New()
+	r.Dispatch(3, 2, 512)
+	r.TaskStart(3, 7)
+	r.Member(4, "dead")
+	events := ExportJSON(r.Events())
+	if len(events) != 3 {
+		t.Fatalf("exported %d events, want 3", len(events))
+	}
+	if events[0].Kind != "dispatch" || events[0].Worker != 3 || events[0].Ready != 2 || events[0].Bytes != 512 {
+		t.Fatalf("dispatch export = %+v", events[0])
+	}
+	if events[1].Kind != "start" || events[1].Vertex != 7 {
+		t.Fatalf("start export = %+v", events[1])
+	}
+	if events[2].Kind != "member" || events[2].Label != "dead" {
+		t.Fatalf("member export = %+v", events[2])
+	}
+	enc, err := json.Marshal(events[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-valued fields are omitted so event streams stay compact.
+	if strings.Contains(string(enc), "vertex") || !strings.Contains(string(enc), `"kind":"member"`) {
+		t.Fatalf("member JSON = %s", enc)
+	}
+	if got := EventKind(0).String(); got != "unknown" {
+		t.Fatalf("EventKind(0) = %q", got)
 	}
 }

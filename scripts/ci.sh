@@ -42,6 +42,13 @@ go test -race ./...
 # run them a second time under -race with caching off so a lucky first pass
 # cannot hide a flaky membership, lease, or attempt-arbitration race.
 go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects|TestClusterOvertimeFakeClock|TestSpeculationFakeClock|TestDuplicateResultIdempotent|TestSpeculationRescues|TestStealRebalances' ./internal/cluster/
+# The shared-fleet multi-job suite (concurrent DAGs with a mid-run worker
+# kill, fake-clock poisoned-job isolation, stealing/speculation scoped per
+# job, and the end-to-end fleet-mode job service) interleaves several
+# jobs' lease and attempt namespaces over one pool — rerun it uncached for
+# the same reason.
+go test -race -count=1 -run 'TestFleetConcurrentJobsWorkerKill|TestFleetPoisonedJobIsolationFakeClock|TestFleetSpeculationFakeClock|TestFleetStealFeedsHungryMember|TestFleetCheckpointResume' ./internal/fleet/
+go test -race -count=1 -run 'TestFleetService' ./internal/server/
 
 # Coverage ratchet for the task hot path (dispatch, wire codec, runtime).
 # The minimums sit just under the measured numbers at the time each was
@@ -63,6 +70,7 @@ check_cover internal/sched 92
 check_cover internal/comm 82
 check_cover internal/core 86
 check_cover internal/cluster 75
+check_cover internal/fleet 80
 
 # Smoke the wire-codec fuzzer: ten seconds of random frames must neither
 # crash the decoder nor break the encode/decode round trip.
