@@ -385,13 +385,16 @@ func (f *Fleet[T]) retire(jb *job[T]) {
 	}
 	f.connMu.Unlock()
 	for _, mc := range conns {
+		// attachMu is held across both the map update and the JobEnd send
+		// so no sender can interleave a task (or a fresh JobSpec) with the
+		// detach: dispatch re-checks jb.finished() under the same lock and
+		// drops its batch instead of sending after JobEnd.
 		mc.attachMu.Lock()
-		attached := mc.attached[jb.id]
-		delete(mc.attached, jb.id)
-		mc.attachMu.Unlock()
-		if attached {
+		if mc.attached[jb.id] {
+			delete(mc.attached, jb.id)
 			_ = mc.cn.Send(comm.Message{Kind: comm.KindJobEnd, Job: jb.id})
 		}
+		mc.attachMu.Unlock()
 	}
 }
 
@@ -511,6 +514,7 @@ func (f *Fleet[T]) senderLoop(mc *memberConn) {
 				// The member died while this sender waited for work;
 				// hand the vertices back for a live member.
 				f.requeue(jb, ids...)
+				f.undraw(jb, len(ids))
 				return
 			}
 			if f.dispatch(mc, jb, ids) {
@@ -549,7 +553,10 @@ func (f *Fleet[T]) nextBatch(mc *memberConn) (*job[T], []int32, bool) {
 				Weight:   jb.req.Weight,
 				Priority: jb.req.Priority,
 				Ready:    len(jb.ready),
-				Inflight: jb.leases.Len(),
+				// Vertices drawn by a concurrent sender but not yet leased
+				// count against the quota too, so racing senders cannot
+				// overshoot a job's in-flight bound between draw and grant.
+				Inflight: jb.leases.Len() + jb.drawn,
 				Quota:    jb.req.Quota,
 				Served:   jb.served,
 			}
@@ -572,10 +579,23 @@ func (f *Fleet[T]) nextBatch(mc *memberConn) (*job[T], []int32, bool) {
 			copy(ids, jb.ready[len(jb.ready)-n:])
 			jb.ready = jb.ready[:len(jb.ready)-n]
 			jb.served += float64(n) / jb.req.Weight
+			jb.drawn += n
 			return jb, ids, true
 		}
 		f.cond.Wait()
 	}
+}
+
+// undraw drops n from jb's drawn-but-not-yet-leased count (see
+// nextBatch): called once the batch's vertices are leased, requeued or
+// dead, so the quota view stops double-counting them.
+func (f *Fleet[T]) undraw(jb *job[T], n int) {
+	f.mu.Lock()
+	jb.drawn -= n
+	// Dropping the drawn charge can open quota room for senders blocked
+	// on an at-quota job; wake them to re-evaluate.
+	f.cond.Broadcast()
+	f.mu.Unlock()
 }
 
 // requeue puts vertices back on jb's ready stack and wakes senders.
@@ -600,14 +620,26 @@ func (f *Fleet[T]) requeue(jb *job[T], ids ...int32) {
 // member has never seen it. Returns false when every vertex turned out to
 // be already finished.
 func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
+	// The draw in nextBatch counted these vertices toward the job's quota;
+	// drop that charge once their fate is settled (leases granted, vertices
+	// requeued, or the batch dead). The defer runs after every return path
+	// below has either granted the lease or unwound it.
+	defer f.undraw(jb, len(ids))
 	if jb.finished() {
 		return false
 	}
 	now := f.clock.Now()
 	entries := make([]comm.TaskEntry, 0, len(ids))
+	// held collects speculation-flagged vertices this member already runs
+	// the primary attempt of: their flag is restored by register, and they
+	// go back on the ready stack for another member to back up.
+	var held []int32
 	for _, v := range ids {
-		attempt, ok, backup := f.register(jb, mc.id, v)
+		attempt, ok, backup, self := f.register(jb, mc.id, v)
 		if !ok {
+			if self {
+				held = append(held, v)
+			}
 			continue
 		}
 		deps := jb.graph.Vertex(v).DataPre
@@ -636,12 +668,14 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 		jb.ctrs.Dispatches.Add(1)
 		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
 	}
-	if len(entries) == 0 {
-		return false
+	if len(held) > 0 {
+		f.requeue(jb, held...)
 	}
-	if err := f.attach(mc, jb); err != nil {
-		f.memberFailed(mc)
-		return true
+	if len(entries) == 0 {
+		// When the whole draw was backups this member holds the primary
+		// of, consume the idle token: drawing again right away could pop
+		// the same vertices forever. Another member's sender picks them up.
+		return len(held) > 0
 	}
 	bytes := 0
 	for _, e := range entries {
@@ -656,27 +690,41 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 		jb.ctrs.BatchMessages.Add(1)
 		msg = comm.Message{Kind: comm.KindTaskBatch, Job: jb.id, Batch: entries}
 	}
-	if err := mc.cn.Send(msg); err != nil {
+	// Attach and send under attachMu, serialized against retire's detach:
+	// a job observed finished here is being (or has been) detached from
+	// workers, so sending now could put a task frame after the JobEnd —
+	// the worker would see a task for an unattached job — or re-send the
+	// spec after JobEnd and leak the job's kernel state on the worker.
+	// Drop the batch instead and unwind the leases granted above.
+	mc.attachMu.Lock()
+	if jb.finished() {
+		mc.attachMu.Unlock()
+		for _, e := range entries {
+			jb.leases.ReleaseAttempt(e.Vertex, e.Attempt)
+			jb.ot.RemoveAttempt(e.Vertex, e.Attempt)
+			jb.noteAttemptGone(e.Vertex, e.Attempt)
+			jb.rt.CancelAttempt(e.Vertex, e.Attempt)
+		}
+		return false
+	}
+	var err error
+	if !mc.attached[jb.id] {
+		// The connection is ordered, so the spec always precedes the
+		// job's tasks.
+		if err = mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta}); err == nil {
+			mc.attached[jb.id] = true
+		}
+	}
+	if err == nil {
+		err = mc.cn.Send(msg)
+	}
+	mc.attachMu.Unlock()
+	if err != nil {
 		// The pump (or heartbeat sweep) will revoke this member's
 		// leases, including the ones just granted; nothing to unwind.
 		f.memberFailed(mc)
 	}
 	return true
-}
-
-// attach ships jb's spec to mc if this member has not seen the job yet.
-// The connection is ordered, so the spec always precedes the job's tasks.
-func (f *Fleet[T]) attach(mc *memberConn, jb *job[T]) error {
-	mc.attachMu.Lock()
-	seen := mc.attached[jb.id]
-	if !seen {
-		mc.attached[jb.id] = true
-	}
-	mc.attachMu.Unlock()
-	if seen {
-		return nil
-	}
-	return mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta})
 }
 
 // memberFailed reports a send failure on mc's connection into the inbox.
@@ -689,29 +737,34 @@ func (f *Fleet[T]) memberFailed(mc *memberConn) {
 
 // register claims an attempt of v in job jb for a member — rt.Register
 // for an ordinary draw, a concurrent backup for a speculation-flagged
-// vertex (unless the member already holds a lease on v).
-func (f *Fleet[T]) register(jb *job[T], member int, v int32) (attempt int32, ok, backup bool) {
+// vertex. A member never backs up its own attempt: that draw is refused
+// with held=true, the specPending flag restored, and the caller requeues
+// the vertex so another member picks up the backup promptly.
+func (f *Fleet[T]) register(jb *job[T], member int, v int32) (attempt int32, ok, backup, held bool) {
 	jb.specMu.Lock()
 	pending := jb.specPending[v]
 	delete(jb.specPending, v)
 	jb.specMu.Unlock()
 	if !pending {
 		a, ok := jb.rt.Register(v)
-		return a, ok, false
+		return a, ok, false, false
 	}
 	for _, l := range jb.leases.Holders(v) {
 		if l.Worker == member {
-			return 0, false, false
+			jb.specMu.Lock()
+			jb.specPending[v] = true
+			jb.specMu.Unlock()
+			return 0, false, false, true
 		}
 	}
 	a, ok := jb.rt.RegisterBackup(v)
 	if !ok {
-		return 0, false, false
+		return 0, false, false, false
 	}
 	jb.specMu.Lock()
 	jb.backupOf[v] = a
 	jb.specMu.Unlock()
-	return a, true, true
+	return a, true, true, false
 }
 
 // recvLoop serializes membership and result handling for the fleet's
@@ -897,15 +950,15 @@ func (f *Fleet[T]) applyResult(member int, jobID, v, attempt int32, payload []by
 
 // requeueReady pushes newly computable vertices onto jb's ready stack.
 // Unlike requeue it does not refund fair-share (these were never
-// dispatched).
+// dispatched). It broadcasts even with nothing new: the caller just
+// released a lease, which may have opened quota room for queued work.
 func (f *Fleet[T]) requeueReady(jb *job[T], ids []int32) {
-	if len(ids) == 0 {
-		return
-	}
 	f.mu.Lock()
 	if _, running := f.jobs[jb.id]; running {
-		jb.ready = append(jb.ready, ids...)
-		jb.tr.Ready(len(jb.ready))
+		if len(ids) > 0 {
+			jb.ready = append(jb.ready, ids...)
+			jb.tr.Ready(len(jb.ready))
+		}
 		f.cond.Broadcast()
 	}
 	f.mu.Unlock()
@@ -1102,6 +1155,7 @@ func (f *Fleet[T]) Snapshot() Snapshot {
 	type row struct {
 		jb     *job[T]
 		ready  int
+		drawn  int
 		served float64
 	}
 	rows := make([]row, 0, len(f.order)+len(f.doneLog))
@@ -1109,7 +1163,7 @@ func (f *Fleet[T]) Snapshot() Snapshot {
 	maxServed := 0.0
 	for _, id := range f.order {
 		jb := f.jobs[id]
-		rows = append(rows, row{jb, len(jb.ready), jb.served})
+		rows = append(rows, row{jb, len(jb.ready), jb.drawn, jb.served})
 		queueDepth += len(jb.ready)
 		if jb.served > maxServed {
 			maxServed = jb.served
@@ -1117,7 +1171,7 @@ func (f *Fleet[T]) Snapshot() Snapshot {
 	}
 	running := len(rows)
 	for _, jb := range f.doneLog {
-		rows = append(rows, row{jb, 0, jb.served})
+		rows = append(rows, row{jb, 0, 0, jb.served})
 	}
 	f.mu.Unlock()
 
@@ -1135,7 +1189,7 @@ func (f *Fleet[T]) Snapshot() Snapshot {
 			Done:     jb.graph.N - jb.parser.Remaining(),
 			Total:    jb.graph.N,
 			Ready:    r.ready,
-			Inflight: jb.leases.Len(),
+			Inflight: jb.leases.Len() + r.drawn,
 			Weight:   jb.req.Weight,
 			Priority: jb.req.Priority,
 			Stats:    jb.stats(),

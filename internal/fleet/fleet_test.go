@@ -482,6 +482,118 @@ func TestFleetNextBatchQuotaClampsBatch(t *testing.T) {
 	}
 }
 
+// TestFleetDispatchRetireOrdering pins the per-connection frame order
+// around retirement: a batch racing the job's finish is dropped with its
+// fresh lease unwound rather than sent, so a worker always sees
+// JobSpec … tasks … JobEnd — never a task after the detach (which would
+// kill the worker) and never a re-attach after JobEnd (which would leak
+// the job's kernel state on the worker).
+func TestFleetDispatchRetireOrdering(t *testing.T) {
+	f, err := New[int32](Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prob, _ := mustProblem(t, "nussinov")
+	jb, err := newJob(1, prob, JobRequest{Name: "order"}.withDefaults(f.opts), f.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertJob(t, f, jb)
+	roots := jb.parser.InitialReady()
+	if len(roots) < 2 {
+		t.Fatalf("need two dependency-free vertices, got %d", len(roots))
+	}
+
+	// A real socket pair so the dispatch and detach frames cross a live
+	// ordered connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvCh := make(chan *comm.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srvCh <- comm.NewConn(c, 0)
+	}()
+	wc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker := comm.NewConn(wc, 0)
+	defer worker.Close()
+	sc := <-srvCh
+	defer sc.Close()
+	mc := &memberConn{id: 1, cn: sc, idle: make(chan struct{}, 1), stop: make(chan struct{}), attached: make(map[int32]bool)}
+	f.connMu.Lock()
+	f.conns[1] = mc
+	f.connMu.Unlock()
+
+	// Mimic nextBatch's drawn charge so dispatch's undraw balances.
+	draw := func() {
+		f.mu.Lock()
+		jb.drawn++
+		f.mu.Unlock()
+	}
+
+	draw()
+	if !f.dispatch(mc, jb, []int32{roots[0]}) {
+		t.Fatal("dispatch refused a live job")
+	}
+	for _, want := range []comm.Kind{comm.KindJobSpec, comm.KindTask} {
+		msg, err := worker.Recv()
+		if err != nil || msg.Kind != want {
+			t.Fatalf("worker got (%v, %v), want kind %v", msg.Kind, err, want)
+		}
+	}
+
+	// Race the serialized re-check: hold the attach lock so a second
+	// dispatch blocks right before its send, finish the job inside that
+	// window, then let it through — the batch must be dropped and the
+	// lease it granted unwound, not sent after the detach.
+	draw()
+	mc.attachMu.Lock()
+	dispatched := make(chan bool, 1)
+	go func() { dispatched <- f.dispatch(mc, jb, []int32{roots[1]}) }()
+	pollUntil(t, "second dispatch leasing", func() bool { return jb.leases.Len() == 2 })
+	jb.finish(nil, f.clock.Now())
+	mc.attachMu.Unlock()
+	if <-dispatched {
+		t.Fatal("dispatch shipped a batch for a finishing job")
+	}
+	if got := jb.rt.LiveAttempts(roots[1]); got != 0 {
+		t.Fatalf("dropped batch left %d live attempts", got)
+	}
+	if got := jb.leases.Len(); got != 1 {
+		t.Fatalf("leases = %d after the dropped batch, want only the first dispatch's", got)
+	}
+
+	// Retirement detaches: the very next frame is JobEnd, and a late
+	// dispatch afterwards neither sends nor re-attaches.
+	f.retire(jb)
+	msg, err := worker.Recv()
+	if err != nil || msg.Kind != comm.KindJobEnd {
+		t.Fatalf("worker got (%v, %v) after retirement, want JobEnd with no interleaved task", msg.Kind, err)
+	}
+	if got := jb.leases.Len(); got != 0 {
+		t.Fatalf("retire left %d leases", got)
+	}
+	draw()
+	if f.dispatch(mc, jb, []int32{roots[1]}) {
+		t.Fatal("dispatch shipped a batch for a retired job")
+	}
+	mc.attachMu.Lock()
+	attached := mc.attached[jb.id]
+	mc.attachMu.Unlock()
+	if attached {
+		t.Fatal("retired job still attached to the member")
+	}
+}
+
 // TestFleetCheckpointResume runs a checkpointed job to completion, then
 // resubmits it to a fresh fleet with no workers at all: the entire run
 // must replay from the checkpoint, bit-identically.

@@ -157,9 +157,13 @@ type job[T any] struct {
 
 	// ready is the job's computable-vertex stack (LIFO, like the
 	// single-job dispatcher); guarded by the fleet's mutex, which also
-	// covers served for the policy's consistent view.
+	// covers served and drawn for the policy's consistent view.
 	ready  []int32
 	served float64
+	// drawn counts vertices a sender has taken off ready but not yet
+	// leased in dispatch; the policy adds it to Inflight so concurrent
+	// senders cannot overshoot the job's quota in that window.
+	drawn int
 
 	// timeouts counts overtime expiries per vertex (the MaxAttempts
 	// guard); control loop only.

@@ -14,7 +14,9 @@ type JobView struct {
 	Priority int
 	// Ready is the number of computable vertices queued for the job.
 	Ready int
-	// Inflight is the number of leased attempts currently outstanding.
+	// Inflight is the number of leased attempts currently outstanding,
+	// plus vertices drawn by a concurrent sender that have not been
+	// leased yet (so racing senders cannot overshoot Quota).
 	Inflight int
 	// Quota caps Inflight (0 = unlimited): the per-tenant isolation
 	// bound that keeps one job — including its retries and speculative

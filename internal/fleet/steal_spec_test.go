@@ -166,29 +166,42 @@ func TestFleetSpeculationFakeClock(t *testing.T) {
 		t.Fatalf("flagged %d vertices past the threshold, want 1", got)
 	}
 
-	// The holder must not back itself up: its draw is refused and the
-	// flag dropped.
+	// The holder must not back itself up: its draw is refused with held
+	// set, the flag restored, and the caller requeues the vertex for
+	// another member (no waiting for the next control tick).
 	f.mu.Lock()
 	jb.ready = nil
 	f.mu.Unlock()
-	if _, ok, _ := f.register(jb, w1.ID, v); ok {
-		t.Fatal("member granted a backup of its own attempt")
+	if _, ok, _, held := f.register(jb, w1.ID, v); ok || !held {
+		t.Fatalf("self-backup register = (ok=%v, held=%v), want a held refusal", ok, held)
 	}
 	if jb.rt.LiveAttempts(v) != 1 {
 		t.Fatalf("LiveAttempts = %d after refused self-backup, want 1", jb.rt.LiveAttempts(v))
 	}
+	jb.specMu.Lock()
+	restored := jb.specPending[v]
+	jb.specMu.Unlock()
+	if !restored {
+		t.Fatal("specPending flag not restored after the refused self-backup")
+	}
 
-	// Re-flag; a second member turns the draw into a concurrent backup.
+	// Requeue the refused backup the way dispatch does; a second member
+	// turns the draw into a concurrent backup.
+	f.requeueReady(jb, []int32{v})
+	if got := readyLen(f, jb); got != 1 {
+		t.Fatalf("ready = %d after the refused backup was requeued, want 1", got)
+	}
+	// The detector leaves the requeued backup alone on later ticks.
 	fake.Advance(time.Second)
 	f.maybeSpeculate(jb)
 	if got := readyLen(f, jb); got != 1 {
-		t.Fatalf("dropped flag not re-raised on the next tick (%d ready)", got)
+		t.Fatalf("detector double-flagged a requeued backup (%d ready)", got)
 	}
 	w2 := f.reg.Admit("w2", "test")
 	f.mu.Lock()
 	jb.ready = nil
 	f.mu.Unlock()
-	backup, ok, isBackup := f.register(jb, w2.ID, v)
+	backup, ok, isBackup, _ := f.register(jb, w2.ID, v)
 	if !ok || !isBackup {
 		t.Fatalf("backup register = (%v, backup=%v)", ok, isBackup)
 	}
