@@ -612,6 +612,12 @@ func (m *Master[T]) recvLoop() {
 				if !ev.msg.More {
 					m.signalIdle(ev.member)
 				}
+			default:
+				// A kind this master never expects from a worker is
+				// protocol corruption or version skew, not a race; tear
+				// the member down so its leases reassign, rather than
+				// dropping frames silently.
+				m.memberDown(ev.member, fmt.Errorf("cluster: member %d sent unexpected %v frame", ev.member, ev.msg.Kind))
 			}
 		}
 	}

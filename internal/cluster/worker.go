@@ -257,6 +257,11 @@ func RunWorker[T any](ctx context.Context, p core.Problem[T], opts WorkerOptions
 			// the read-idle clock.
 		case comm.KindEnd:
 			return nil
+		default:
+			// An unexpected kind on an ordered connection means protocol
+			// corruption or version skew; die loudly so the master's
+			// revocation path reassigns this member's leases.
+			return fmt.Errorf("cluster: member %d received unexpected %v frame", member, msg.Kind)
 		}
 	}
 }

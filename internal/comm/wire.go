@@ -70,8 +70,11 @@ func binaryKind(k Kind) bool {
 	switch k {
 	case KindTask, KindResult, KindTaskBatch, KindResultBatch:
 		return true
+	default:
+		// Control frames — and any kind a future protocol version adds —
+		// ride the gob stream, which self-describes unknown fields.
+		return false
 	}
-	return false
 }
 
 // frameBufPool recycles encode buffers: one Send encodes the whole frame

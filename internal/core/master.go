@@ -426,6 +426,11 @@ func (m *master[T]) recvLoop() {
 			if !msg.More {
 				m.signalIdle(msg.From)
 			}
+		default:
+			// A kind the thread-level protocol never sends means a
+			// corrupted transport; fail the run rather than dropping
+			// frames silently.
+			m.finish(fmt.Errorf("core: master received unexpected %v frame from slave %d", msg.Kind, msg.From))
 		}
 	}
 }

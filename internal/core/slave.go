@@ -35,6 +35,11 @@ func runSlave[T any](p Problem[T], cfg Config, tr comm.Transport, faults *faultS
 		switch msg.Kind {
 		case comm.KindEnd:
 			return nil
+		default:
+			// The master only ever sends tasks, batches and End on this
+			// transport; anything else is corruption. Die loudly so the
+			// timeout path reassigns this slave's work.
+			return fmt.Errorf("core: slave %d received unexpected %v frame", rank, msg.Kind)
 		case comm.KindTask:
 			if faults.crashNow(rank) {
 				// Injected node failure: die without a word.

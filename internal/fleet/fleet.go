@@ -392,6 +392,7 @@ func (f *Fleet[T]) retire(jb *job[T]) {
 		mc.attachMu.Lock()
 		if mc.attached[jb.id] {
 			delete(mc.attached, jb.id)
+			//lint:ignore blocking-under-lock the detach frame must be ordered against this member's task sends, which only attachMu serializes; the write is bounded by the connection's write timeout, and attachMu is a leaf per member
 			_ = mc.cn.Send(comm.Message{Kind: comm.KindJobEnd, Job: jb.id})
 		}
 		mc.attachMu.Unlock()
@@ -711,11 +712,13 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 	if !mc.attached[jb.id] {
 		// The connection is ordered, so the spec always precedes the
 		// job's tasks.
+		//lint:ignore blocking-under-lock the attach frame and the task must reach the wire without a detach interleaving, which only attachMu serializes; the write is bounded by the connection's write timeout, and attachMu is a leaf per member
 		if err = mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta}); err == nil {
 			mc.attached[jb.id] = true
 		}
 	}
 	if err == nil {
+		//lint:ignore blocking-under-lock the task send is serialized against retire's JobEnd by attachMu (PR 6 review invariant); the write is bounded by the connection's write timeout, and attachMu is a leaf per member
 		err = mc.cn.Send(msg)
 	}
 	mc.attachMu.Unlock()
@@ -802,6 +805,12 @@ func (f *Fleet[T]) recvLoop() {
 				if !ev.msg.More {
 					f.signalIdle(ev.member)
 				}
+			default:
+				// A kind the fleet never expects from a worker is
+				// protocol corruption or version skew; retire the member
+				// so its leases reassign, rather than dropping frames
+				// silently.
+				f.memberDown(ev.member)
 			}
 		}
 	}

@@ -287,6 +287,11 @@ func RunWorker[T any](ctx context.Context, build Builder[T], opts WorkerOptions)
 			// The fleet's echo of our beacon.
 		case comm.KindEnd:
 			return nil
+		default:
+			// An unexpected kind on an ordered connection means protocol
+			// corruption or version skew; die loudly so the fleet's
+			// revocation path reassigns this member's leases.
+			return fmt.Errorf("fleet: member %d received unexpected %v frame", member, msg.Kind)
 		}
 	}
 }

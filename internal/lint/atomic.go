@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AtomicConsistency flags mixed access to a variable that is touched
+// through the function-style sync/atomic API anywhere in the program: a
+// counter incremented with atomic.AddInt64 in one goroutine and read
+// with a plain load in another is a data race the race detector only
+// catches when the schedule cooperates. The repo's own counters use the
+// typed atomic.Int64/atomic.Bool wrappers, which make mixing
+// impossible by construction — this rule keeps any future
+// function-style use honest.
+type AtomicConsistency struct{}
+
+// NewAtomicConsistency returns the rule.
+func NewAtomicConsistency() *AtomicConsistency { return &AtomicConsistency{} }
+
+func (*AtomicConsistency) Name() string { return "atomic-consistency" }
+func (*AtomicConsistency) Doc() string {
+	return "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere"
+}
+
+// CheckProgram implements ProgramRule: the atomic-use set is collected
+// across the whole program first, because the atomic write and the
+// plain read typically live in different files or packages.
+func (r *AtomicConsistency) CheckProgram(pkgs []*Package, report Reporter) {
+	// Pass 1: every variable whose address is passed to a sync/atomic
+	// function, with one sample site for the diagnostic.
+	atomicAt := map[*types.Var]token.Position{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomicFunc(calleeFunc(p.Info, call)) {
+					return true
+				}
+				if v := addressedVar(p, call.Args[0]); v != nil {
+					if _, seen := atomicAt[v]; !seen {
+						atomicAt[v] = p.Fset.Position(call.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other use of those variables must itself be an
+	// address passed to a sync/atomic call. (The runner sorts findings
+	// by position.)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := p.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				site, tracked := atomicAt[v]
+				if !tracked || isAtomicContext(p, id, stack) {
+					return true
+				}
+				report(id.Pos(), "%s is accessed via sync/atomic (%s:%d) but plainly here: every access must be atomic, or use the typed atomic.Int64/Bool wrappers",
+					v.Name(), filepath.Base(site.Filename), site.Line)
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicFunc matches the pointer-taking function-style sync/atomic
+// API (AddT, LoadT, StoreT, SwapT, CompareAndSwapT).
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false // typed-wrapper methods enforce atomicity themselves
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedVar resolves &x or &s.f to the variable it addresses.
+func addressedVar(p *Package, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.Ident:
+		v, _ := p.Info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj().(*types.Var)
+		}
+		v, _ := p.Info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return nil // element identity is per-index; out of scope
+	}
+	return nil
+}
+
+// isAtomicContext reports whether the identifier's use site is the
+// address argument of a sync/atomic call: climbing the ancestor stack
+// past its selector, the use must sit under &... inside such a call.
+func isAtomicContext(p *Package, id *ast.Ident, stack []ast.Node) bool {
+	i := len(stack) - 1
+	// Step over the selector the ident is the .Sel of (field access).
+	if i >= 0 {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.Sel == id {
+			i--
+		}
+	}
+	// Unwrap parens.
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 1 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	i--
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && isAtomicFunc(calleeFunc(p.Info, call))
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicConsistencyMixedAccess(t *testing.T) {
+	got := checkFixture(t, "fixtures/atomicmixed", `
+package fix
+
+import "sync/atomic"
+
+type stats struct {
+	n int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.n
+}
+`, NewAtomicConsistency())
+	wantFindings(t, got, "15: atomic-consistency")
+	if !strings.Contains(got[0], "n is accessed via sync/atomic") {
+		t.Errorf("finding %q does not name the variable and the atomic site", got[0])
+	}
+}
+
+func TestAtomicConsistencyAllAtomic(t *testing.T) {
+	got := checkFixture(t, "fixtures/atomicclean", `
+package fix
+
+import "sync/atomic"
+
+type stats struct {
+	n int64
+	m int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// m is never touched atomically, so plain access is fine.
+func (s *stats) plain() int64 {
+	s.m++
+	return s.m
+}
+`, NewAtomicConsistency())
+	wantFindings(t, got)
+}
+
+func TestAtomicConsistencySuppressed(t *testing.T) {
+	got := checkFixture(t, "fixtures/atomicsupp", `
+package fix
+
+import "sync/atomic"
+
+type stats struct {
+	n int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *stats) readRacy() int64 {
+	//lint:ignore atomic-consistency the fixture audits this racy read
+	return s.n
+}
+`, NewAtomicConsistency())
+	wantFindings(t, got)
+}

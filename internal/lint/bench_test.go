@@ -34,3 +34,22 @@ func BenchmarkLintRules(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLintCallGraph isolates the interprocedural layer: call-graph
+// construction, the summary fixpoint and the held-set scan behind
+// lock-hierarchy and blocking-under-lock, over the pre-loaded program.
+// Fresh rules per iteration defeat the shared-analysis memoization that
+// normally lets the two rules split one build.
+func BenchmarkLintCallGraph(b *testing.B) {
+	prog, err := Load(repoRoot(), "./...")
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lh, bul := NewConcRules(nil)
+		if findings := NewRunner(prog.Fset, lh, bul).Run(prog.Pkgs); len(findings) != 0 {
+			b.Fatalf("repository not clean: %v", findings[0])
+		}
+	}
+}

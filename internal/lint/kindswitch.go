@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindExhaustive requires every switch over the wire protocol's
+// comm.Kind to either handle all Kind* constants or carry an explicit
+// non-empty default: the protocol grows (v1 added heartbeats, v2
+// batches, v3 job frames), and a receive loop that silently falls
+// through an unknown kind drops frames instead of failing loudly —
+// exactly how a version-skewed peer corrupts a run undetected.
+type KindExhaustive struct{}
+
+// NewKindExhaustive returns the rule.
+func NewKindExhaustive() *KindExhaustive { return &KindExhaustive{} }
+
+func (*KindExhaustive) Name() string { return "kind-exhaustive" }
+func (*KindExhaustive) Doc() string {
+	return "a switch over comm.Kind must handle every Kind* constant or reject unknowns in a default"
+}
+
+// CheckPackage implements PackageRule.
+func (r *KindExhaustive) CheckPackage(p *Package, report Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := kindType(p.Info.Types[sw.Tag].Type)
+			if named == nil {
+				return true
+			}
+			r.check(p, sw, named, report)
+			return true
+		})
+	}
+}
+
+// kindType returns the named type when t is a "Kind" declared in a
+// package named "comm" (the real wire protocol, or a fixture's stand-in).
+func kindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "comm" {
+		return nil
+	}
+	return named
+}
+
+func (r *KindExhaustive) check(p *Package, sw *ast.SwitchStmt, named *types.Named, report Reporter) {
+	// The universe: every Kind*-prefixed constant of this type in the
+	// type's own package.
+	consts := map[string]string{} // constant value -> name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Kind") || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts[c.Val().ExactString()] = name
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	hasDefault, emptyDefault := false, false
+	var defaultPos = sw.Pos()
+	covered := map[string]bool{}
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			emptyDefault = len(cc.Body) == 0
+			defaultPos = cc.Pos()
+			continue
+		}
+		for _, e := range cc.List {
+			tv := p.Info.Types[e]
+			if tv.Value == nil || tv.Value.Kind() != constant.Int {
+				// A non-constant case defeats static coverage analysis;
+				// err toward silence for this switch.
+				return
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	if hasDefault {
+		if emptyDefault {
+			report(defaultPos, "empty default in a switch over comm.Kind silently drops unknown frames: return an error, tear the peer down, or at least count the drop")
+		}
+		return
+	}
+	var missing []string
+	for val, name := range consts {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	report(sw.Pos(), "switch over comm.Kind does not handle %s and has no default: unknown frames fall through silently; add the cases or a rejecting default",
+		strings.Join(missing, ", "))
+}

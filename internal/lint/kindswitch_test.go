@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixtures declare their own comm.Kind stand-in: the rule keys on a
+// named type "Kind" in a package named "comm", so a three-constant
+// miniature protocol exercises the same paths as the real twelve-kind
+// wire enum.
+const kindFixturePrelude = `
+package comm
+
+type Kind uint8
+
+const (
+	KindIdle Kind = iota
+	KindTask
+	KindEnd
+)
+`
+
+func TestKindExhaustiveMissingCase(t *testing.T) {
+	got := checkFixture(t, "fixtures/kindmissing", kindFixturePrelude+`
+func handle(k Kind) int {
+	switch k {
+	case KindIdle:
+		return 0
+	case KindTask:
+		return 1
+	}
+	return -1
+}
+`, NewKindExhaustive())
+	wantFindings(t, got, "13: kind-exhaustive")
+	if !strings.Contains(got[0], "does not handle KindEnd") {
+		t.Errorf("finding %q does not name the missing constant", got[0])
+	}
+}
+
+func TestKindExhaustiveCovered(t *testing.T) {
+	got := checkFixture(t, "fixtures/kindfull", kindFixturePrelude+`
+func handle(k Kind) int {
+	switch k {
+	case KindIdle:
+		return 0
+	case KindTask, KindEnd:
+		return 1
+	}
+	return -1
+}
+
+func rejecting(k Kind) int {
+	switch k {
+	case KindIdle:
+		return 0
+	default:
+		panic("unknown kind")
+	}
+}
+`, NewKindExhaustive())
+	wantFindings(t, got)
+}
+
+func TestKindExhaustiveEmptyDefault(t *testing.T) {
+	got := checkFixture(t, "fixtures/kindempty", kindFixturePrelude+`
+func handle(k Kind) int {
+	switch k {
+	case KindIdle:
+		return 0
+	default:
+	}
+	return -1
+}
+`, NewKindExhaustive())
+	wantFindings(t, got, "16: kind-exhaustive")
+	if !strings.Contains(got[0], "empty default") {
+		t.Errorf("finding %q should call out the empty default", got[0])
+	}
+}
+
+// TestKindExhaustiveForeignKind pins the scope: a Kind enum outside a
+// package named comm is not the wire protocol and stays unchecked.
+func TestKindExhaustiveForeignKind(t *testing.T) {
+	got := checkFixture(t, "fixtures/kindforeign", `
+package other
+
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+)
+
+func handle(k Kind) int {
+	switch k {
+	case KindA:
+		return 0
+	}
+	return -1
+}
+`, NewKindExhaustive())
+	wantFindings(t, got)
+}
+
+func TestKindExhaustiveSuppressed(t *testing.T) {
+	got := checkFixture(t, "fixtures/kindsupp", kindFixturePrelude+`
+func handle(k Kind) int {
+	//lint:ignore kind-exhaustive the fixture audits this partial switch
+	switch k {
+	case KindIdle:
+		return 0
+	}
+	return -1
+}
+`, NewKindExhaustive())
+	wantFindings(t, got)
+}

@@ -99,28 +99,27 @@ func TestRepositoryIsClean(t *testing.T) {
 }
 
 // TestKnownRuntimeViolationsAreSuppressed pins the audited escape
-// hatches: the bounded joins in runMaster and Manager.Shutdown and the
-// context-free compatibility entry points carry //lint:ignore directives
-// with reasons — if someone deletes the code, the directive, or the
-// reason, either this test or TestRepositoryIsClean moves.
+// hatches: the bounded joins in runMaster and Manager.Shutdown, the
+// context-free compatibility entry points, and the fleet's
+// attach-serialized sends under attachMu all carry //lint:ignore
+// directives with reasons — if someone deletes the code, the directive,
+// or the reason, either this test or TestRepositoryIsClean moves.
 func TestKnownRuntimeViolationsAreSuppressed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole repository; skipped in -short mode")
 	}
 	prog := loadRepo(t)
-	var core, server []*Package
+	var audited []*Package
 	for _, p := range prog.Pkgs {
 		switch p.Path {
-		case "repro/internal/core":
-			core = append(core, p)
-		case "repro/internal/server":
-			server = append(server, p)
+		case "repro/internal/core", "repro/internal/server", "repro/internal/fleet":
+			audited = append(audited, p)
 		}
 	}
 	// Run the raw rules without suppression by checking the directives
 	// exist where the violations are.
-	dirs := collectDirectives(prog.Fset, append(core, server...))
-	wantRules := map[string]int{"ctx-select": 2, "naked-background": 3}
+	dirs := collectDirectives(prog.Fset, audited)
+	wantRules := map[string]int{"ctx-select": 2, "naked-background": 3, "blocking-under-lock": 3}
 	gotRules := map[string]int{}
 	for _, d := range dirs {
 		if d.reason == "" {
@@ -132,7 +131,24 @@ func TestKnownRuntimeViolationsAreSuppressed(t *testing.T) {
 	}
 	for rule, want := range wantRules {
 		if gotRules[rule] < want {
-			t.Errorf("expected at least %d //lint:ignore %s directives in core+server, found %d", want, rule, gotRules[rule])
+			t.Errorf("expected at least %d //lint:ignore %s directives in core+server+fleet, found %d", want, rule, gotRules[rule])
 		}
+	}
+}
+
+// TestConcurrencyRulesRepositoryClean is the merge gate for the four
+// interprocedural/protocol rules alone: with the checked-in
+// lint/lockorder.conf, the lock hierarchy, the no-blocking-under-lock
+// discipline (modulo the audited fleet sends), kind exhaustiveness and
+// atomic consistency all hold over the whole repository.
+func TestConcurrencyRulesRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	prog := loadRepo(t)
+	lh, bul := NewConcRules(nil)
+	rules := []Rule{lh, bul, NewKindExhaustive(), NewAtomicConsistency()}
+	for _, f := range NewRunner(prog.Fset, rules...).Run(prog.Pkgs) {
+		t.Errorf("concurrency-rule violation: %s", f)
 	}
 }

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF (Static Analysis Results Interchange Format 2.1.0) is the
+// interchange schema CI forges consume to render findings as inline
+// code annotations. WriteSARIF emits the minimal valid subset: one run,
+// the driver's rule metadata, and one result per finding with a
+// physical location. File paths are made relative to base (forward
+// slashes, per the spec) when they live under it.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// WriteSARIF encodes findings as a SARIF 2.1.0 log. rules is the rule
+// set that ran (its metadata goes into the driver section); every
+// finding is emitted at level "error" — the suite is a merge gate, not
+// a style advisor.
+func WriteSARIF(w io.Writer, findings []Finding, rules []Rule, base string) error {
+	sr := make([]sarifRule, 0, len(rules)+1)
+	for _, r := range rules {
+		sr = append(sr, sarifRule{ID: r.Name(), ShortDescription: sarifMessage{r.Doc()}})
+	}
+	sr = append(sr, sarifRule{ID: IgnoreRule, ShortDescription: sarifMessage{"malformed or unknown //lint:ignore directive"}})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{f.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: sarifURI(base, f.Pos.Filename)},
+				Region:           sarifRegion{StartLine: f.Pos.Line},
+			}}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "easyhps-vet", Rules: sr}},
+			Results: results,
+		}},
+	})
+}
+
+// sarifURI renders file relative to base with forward slashes when
+// possible, falling back to the absolute path.
+func sarifURI(base, file string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

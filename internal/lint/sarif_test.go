@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	base := filepath.Join("/", "work", "repo")
+	findings := []Finding{
+		{
+			Pos:  token.Position{Filename: filepath.Join(base, "internal", "fleet", "fleet.go"), Line: 42},
+			Rule: "lock-hierarchy",
+			Msg:  "acquiring fleet.Fleet.mu while holding fleet.memberConn.attachMu",
+		},
+		{
+			Pos:  token.Position{Filename: filepath.Join("/", "elsewhere", "x.go"), Line: 7},
+			Rule: "kind-exhaustive",
+			Msg:  "switch over comm.Kind does not handle KindEnd",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings, AllRules(), base); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Fatalf("version = %q, $schema = %q; want 2.1.0 and a schema URI", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "easyhps-vet" {
+		t.Errorf("driver name = %q, want easyhps-vet", run.Tool.Driver.Name)
+	}
+	// Every active rule plus the lint-ignore pseudo-rule is declared.
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+	}
+	for _, r := range AllRules() {
+		if !ruleIDs[r.Name()] {
+			t.Errorf("driver rules missing %s", r.Name())
+		}
+	}
+	if !ruleIDs[IgnoreRule] {
+		t.Errorf("driver rules missing %s", IgnoreRule)
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "lock-hierarchy" || first.Level != "error" {
+		t.Errorf("result 0 = %s/%s, want lock-hierarchy/error", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/fleet/fleet.go" {
+		t.Errorf("uri = %q, want repo-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 {
+		t.Errorf("startLine = %d, want 42", loc.Region.StartLine)
+	}
+	// A file outside base keeps its absolute path.
+	out := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if out != "/elsewhere/x.go" {
+		t.Errorf("outside-base uri = %q, want /elsewhere/x.go", out)
+	}
+}

@@ -31,7 +31,11 @@ fi
 go vet ./...
 # Project-specific invariants go vet cannot see (cancellable channel ops,
 # timer hygiene, locks across blocking ops, gob registration, detached
-# contexts) — see docs/ANALYSIS.md.
+# contexts, the declared lock hierarchy and no-blocking-under-lock
+# discipline checked through the call graph, comm.Kind switch
+# exhaustiveness, sync/atomic consistency) — see docs/ANALYSIS.md and
+# lint/lockorder.conf. Any finding fails the build; deliberate exceptions
+# must carry an audited //lint:ignore directive with a reason.
 go run ./cmd/easyhps-vet ./...
 go build ./...
 go test -race ./...
@@ -71,6 +75,9 @@ check_cover internal/comm 82
 check_cover internal/core 86
 check_cover internal/cluster 75
 check_cover internal/fleet 80
+# The analyzer itself: the fixture suites for every rule keep the
+# short-mode number here; the repo-wide gates only run un-short.
+check_cover internal/lint 76
 
 # Smoke the wire-codec fuzzer: ten seconds of random frames must neither
 # crash the decoder nor break the encode/decode round trip.
