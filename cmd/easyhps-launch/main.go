@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/comm"
@@ -53,6 +54,10 @@ func main() {
 		ckpt       = flag.String("checkpoint", "", "elastic: checkpoint file (resumes from it when present)")
 		speculate  = flag.Bool("speculate", false, "elastic: dispatch speculative backups for straggling vertices (first result wins)")
 		steal      = flag.Bool("steal", false, "elastic: steal queued backlog for workers that announce hunger (pair with worker -steal)")
+
+		cache         = flag.Bool("cache", false, "elastic: probe and fill the content-addressed result cache (keys scoped by the problem-spec digest)")
+		cacheDir      = flag.String("cache-dir", "", "cache: persist entries to this directory, so a rerun of the same problem completes from cache")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 256<<20, "cache: LRU byte budget for block entries")
 	)
 	flag.Parse()
 
@@ -67,6 +72,13 @@ func main() {
 		spec.Thread = dag.Square(*thread)
 	}
 
+	var store *cas.Store
+	if *cache {
+		var err error
+		store, err = cas.NewStore(cas.Options{Dir: *cacheDir, MaxBytes: *cacheMaxBytes})
+		fatal(err)
+	}
+
 	if *elastic {
 		m, err := cluster.NewMaster(prob, cluster.Options{
 			Addr:              *addr,
@@ -79,6 +91,7 @@ func main() {
 			Batch:             *batch,
 			Speculate:         *speculate,
 			Steal:             *steal,
+			Cache:             store,
 			RunTimeout:        15 * time.Minute,
 		})
 		fatal(err)
@@ -109,6 +122,10 @@ func main() {
 	}
 	if *thread > 0 {
 		cfg.ThreadPartition = dag.Square(*thread)
+	}
+	if store != nil {
+		cfg.Cache = store
+		cfg.CacheKey = spec.Digest()
 	}
 	res, err := core.RunMaster(prob, cfg, tr)
 	fatal(err)

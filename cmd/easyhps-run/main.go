@@ -16,7 +16,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dp"
@@ -40,6 +42,10 @@ func main() {
 		verbose = flag.Bool("v", false, "print runtime statistics")
 		gantt   = flag.Bool("gantt", false, "print a per-slave execution timeline")
 		fasta   = flag.String("fasta", "", "align the first two records of this FASTA file (swgg/editdist/lcs)")
+
+		cache         = flag.Bool("cache", false, "probe and fill the content-addressed result cache; with -cache-dir a rerun of the same problem completes from cache")
+		cacheDir      = flag.String("cache-dir", "", "cache: persist entries to this directory (empty = memory only)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 256<<20, "cache: LRU byte budget for block entries")
 	)
 	flag.Parse()
 
@@ -70,6 +76,20 @@ func main() {
 	if *gantt {
 		rec = trace.New()
 		cfg.Trace = rec
+	}
+
+	if *cache {
+		if *fasta != "" {
+			// The cache key is derived from app/n/seed, which does not
+			// describe file contents; caching here could alias runs.
+			fatal(fmt.Errorf("-cache cannot be combined with -fasta (file contents are not part of the cache key)"))
+		}
+		store, err := cas.NewStore(cas.Options{Dir: *cacheDir, MaxBytes: *cacheMaxBytes})
+		fatal(err)
+		// The same spec digest easyhps-launch uses, so a -cache-dir is
+		// shared between in-process and distributed runs of one problem.
+		cfg.Cache = store
+		cfg.CacheKey = cluster.Spec{App: *app, N: *n, Seed: *seed, Proc: cfg.ProcPartition, Thread: cfg.ThreadPartition}.Digest()
 	}
 
 	if *app == "matrixchain" {

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/fleet"
@@ -60,6 +61,10 @@ func main() {
 		fleetBatch = flag.Int("fleet-batch", 1, "fleet: vertices per dispatch message")
 		speculate  = flag.Bool("speculate", false, "fleet: speculatively re-execute straggling vertices")
 		steal      = flag.Bool("steal", false, "fleet: feed hungry workers from loaded members' backlogs")
+
+		cache         = flag.Bool("cache", false, "enable the content-addressed result cache (whole-job memoization, per-block reuse in fleet mode, content-keyed shipping suppression)")
+		cacheDir      = flag.String("cache-dir", "", "cache: persist entries to this directory (empty = memory only)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 256<<20, "cache: LRU byte budget for block entries")
 	)
 	flag.Parse()
 
@@ -81,6 +86,16 @@ func main() {
 		QueueDepth:    *queue,
 		MaxCells:      *maxCells,
 	}
+	var store *cas.Store
+	if *cache {
+		var err error
+		store, err = cas.NewStore(cas.Options{Dir: *cacheDir, MaxBytes: *cacheMaxBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easyhps-serve:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = store
+	}
 	var fl *fleet.Fleet[int32]
 	if *fleetAddr != "" {
 		var err error
@@ -89,6 +104,7 @@ func main() {
 			Batch:     *fleetBatch,
 			Speculate: *speculate,
 			Steal:     *steal,
+			Cache:     store,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "easyhps-serve:", err)

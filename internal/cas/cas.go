@@ -1,0 +1,402 @@
+package cas
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir, when non-empty, persists entries as files under this directory
+	// (one file per key, "<hex>.blk" / "<hex>.job") and reloads them on
+	// open. Empty keeps the store purely in memory.
+	Dir string
+	// MaxBytes budgets the block entries' payload bytes; the least
+	// recently used blocks are evicted once the budget is exceeded, and a
+	// single payload larger than the budget is not stored at all, so the
+	// store never holds more than MaxBytes of block data. Zero or
+	// negative means unlimited. Whole-job entries are pinned until their
+	// TTL and do not count against this budget.
+	MaxBytes int64
+	// JobTTL bounds how long a whole-job entry stays pinned (default 1h).
+	JobTTL time.Duration
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.JobTTL <= 0 {
+		o.JobTTL = time.Hour
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// layerCount is one counter fanned out by consumer layer.
+type layerCount struct {
+	server atomic.Int64
+	master atomic.Int64
+	wire   atomic.Int64
+}
+
+func (c *layerCount) add(l Layer) {
+	switch l {
+	case LayerServer:
+		c.server.Add(1)
+	case LayerMaster:
+		c.master.Add(1)
+	default:
+		c.wire.Add(1)
+	}
+}
+
+func (c *layerCount) snapshot() map[Layer]int64 {
+	return map[Layer]int64{
+		LayerServer: c.server.Load(),
+		LayerMaster: c.master.Load(),
+		LayerWire:   c.wire.Load(),
+	}
+}
+
+type blockEntry struct {
+	key     Key
+	payload []byte
+}
+
+type jobEntry struct {
+	payload []byte
+	expires time.Time
+}
+
+// Store is the content-addressed result store. Block entries live in a
+// byte-budgeted LRU; whole-job entries are pinned until their TTL. All
+// methods are safe for concurrent use; payloads are treated as immutable
+// by both sides (callers must not mutate a slice after Put or the slice
+// returned by Get).
+type Store struct {
+	opts Options
+
+	mu         sync.Mutex
+	blocks     map[Key]*list.Element // of *blockEntry
+	lru        *list.List            // front = most recently used
+	blockBytes int64
+	jobs       map[Key]jobEntry
+	jobBytes   int64
+
+	hits           layerCount
+	misses         layerCount
+	blockEvictions atomic.Int64
+	jobEvictions   atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Hits and Misses count lookups per consumer layer. A wire "hit" is a
+	// block that did not have to be reshipped; a wire "miss" is one that
+	// was.
+	Hits   map[Layer]int64
+	Misses map[Layer]int64
+	// BlockEvictions counts blocks dropped by the LRU byte budget;
+	// JobEvictions counts whole-job entries expired by TTL.
+	BlockEvictions int64
+	JobEvictions   int64
+	// Bytes is the resident payload size (blocks + jobs); Blocks and Jobs
+	// count resident entries.
+	Bytes  int64
+	Blocks int
+	Jobs   int
+}
+
+// NewStore opens a store; when opts.Dir is set, existing entries are
+// reloaded (oldest first, so the byte budget keeps the newest blocks) and
+// already-expired job entries are removed.
+func NewStore(opts Options) (*Store, error) {
+	s := &Store{
+		opts:   opts.withDefaults(),
+		blocks: make(map[Key]*list.Element),
+		lru:    list.New(),
+		jobs:   make(map[Key]jobEntry),
+	}
+	if s.opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: creating cache dir: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load reads the persisted entries back in. Only called from NewStore,
+// before the store is shared, so no locking is needed.
+func (s *Store) load() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("cas: reading cache dir: %w", err)
+	}
+	type onDisk struct {
+		key  Key
+		path string
+		job  bool
+		mod  time.Time
+	}
+	var files []onDisk
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		var job bool
+		switch {
+		case strings.HasSuffix(name, ".blk"):
+		case strings.HasSuffix(name, ".job"):
+			job = true
+		default:
+			continue
+		}
+		k, ok := parseKey(strings.TrimSuffix(strings.TrimSuffix(name, ".blk"), ".job"))
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, onDisk{key: k, path: filepath.Join(s.opts.Dir, name), job: job, mod: info.ModTime()})
+	}
+	// Oldest first: inserting in age order makes the LRU evict the oldest
+	// blocks when the reloaded set exceeds the byte budget.
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	now := s.opts.Clock()
+	for _, f := range files {
+		payload, err := os.ReadFile(f.path)
+		if err != nil {
+			continue
+		}
+		if f.job {
+			expires := f.mod.Add(s.opts.JobTTL)
+			if !now.Before(expires) {
+				_ = os.Remove(f.path)
+				continue
+			}
+			s.jobs[f.key] = jobEntry{payload: payload, expires: expires}
+			s.jobBytes += int64(len(payload))
+			continue
+		}
+		for _, path := range s.putBlockLocked(f.key, payload) {
+			_ = os.Remove(path)
+		}
+	}
+	return nil
+}
+
+// PutBlock inserts one encoded block payload, refreshing recency if the
+// key is already resident. Payloads larger than the byte budget are
+// dropped (storing them would violate the never-exceed guarantee).
+func (s *Store) PutBlock(k Key, payload []byte) {
+	s.mu.Lock()
+	evicted := s.putBlockLocked(k, payload)
+	s.mu.Unlock()
+	// Disk I/O stays outside the mutex: persistence is best-effort and a
+	// racing insert of the same key writes identical bytes anyway.
+	if s.opts.Dir != "" {
+		for _, path := range evicted {
+			_ = os.Remove(path)
+		}
+		_ = os.WriteFile(s.blockPath(k), payload, 0o644)
+	}
+}
+
+// putBlockLocked does the in-memory insert and eviction and returns the
+// file paths of evicted entries for the caller to remove after unlock.
+func (s *Store) putBlockLocked(k Key, payload []byte) (evictedPaths []string) {
+	if el, ok := s.blocks[k]; ok {
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	size := int64(len(payload))
+	if s.opts.MaxBytes > 0 && size > s.opts.MaxBytes {
+		return nil
+	}
+	el := s.lru.PushFront(&blockEntry{key: k, payload: payload})
+	s.blocks[k] = el
+	s.blockBytes += size
+	for s.opts.MaxBytes > 0 && s.blockBytes > s.opts.MaxBytes {
+		back := s.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		be := back.Value.(*blockEntry)
+		s.lru.Remove(back)
+		delete(s.blocks, be.key)
+		s.blockBytes -= int64(len(be.payload))
+		s.blockEvictions.Add(1)
+		if s.opts.Dir != "" {
+			evictedPaths = append(evictedPaths, s.blockPath(be.key))
+		}
+	}
+	return evictedPaths
+}
+
+// GetBlock looks a block up, counting a hit or miss for the given layer
+// and refreshing recency on hit. The returned payload must not be
+// mutated.
+func (s *Store) GetBlock(k Key, layer Layer) ([]byte, bool) {
+	s.mu.Lock()
+	el, ok := s.blocks[k]
+	var payload []byte
+	if ok {
+		s.lru.MoveToFront(el)
+		payload = el.Value.(*blockEntry).payload
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.misses.add(layer)
+		return nil, false
+	}
+	s.hits.add(layer)
+	return payload, true
+}
+
+// PutJob inserts a whole-job entry, pinned until the store's TTL.
+func (s *Store) PutJob(k Key, payload []byte) {
+	now := s.opts.Clock()
+	s.mu.Lock()
+	expiredPaths := s.sweepJobsLocked(now)
+	if old, ok := s.jobs[k]; ok {
+		s.jobBytes -= int64(len(old.payload))
+	}
+	s.jobs[k] = jobEntry{payload: payload, expires: now.Add(s.opts.JobTTL)}
+	s.jobBytes += int64(len(payload))
+	s.mu.Unlock()
+	if s.opts.Dir != "" {
+		for _, path := range expiredPaths {
+			_ = os.Remove(path)
+		}
+		_ = os.WriteFile(s.jobPath(k), payload, 0o644)
+	}
+}
+
+// GetJob looks a whole-job entry up, expiring it first if its TTL has
+// passed.
+func (s *Store) GetJob(k Key, layer Layer) ([]byte, bool) {
+	now := s.opts.Clock()
+	s.mu.Lock()
+	expiredPaths := s.sweepJobsLocked(now)
+	e, ok := s.jobs[k]
+	s.mu.Unlock()
+	if s.opts.Dir != "" {
+		for _, path := range expiredPaths {
+			_ = os.Remove(path)
+		}
+	}
+	if !ok {
+		s.misses.add(layer)
+		return nil, false
+	}
+	s.hits.add(layer)
+	return e.payload, true
+}
+
+// sweepJobsLocked drops expired job entries and returns their file paths.
+func (s *Store) sweepJobsLocked(now time.Time) (expiredPaths []string) {
+	for k, e := range s.jobs {
+		if now.Before(e.expires) {
+			continue
+		}
+		delete(s.jobs, k)
+		s.jobBytes -= int64(len(e.payload))
+		s.jobEvictions.Add(1)
+		if s.opts.Dir != "" {
+			expiredPaths = append(expiredPaths, s.jobPath(k))
+		}
+	}
+	return expiredPaths
+}
+
+// Snapshot materializes the counters for /metrics.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Bytes:  s.blockBytes + s.jobBytes,
+		Blocks: len(s.blocks),
+		Jobs:   len(s.jobs),
+	}
+	s.mu.Unlock()
+	st.Hits = s.hits.snapshot()
+	st.Misses = s.misses.snapshot()
+	st.BlockEvictions = s.blockEvictions.Load()
+	st.JobEvictions = s.jobEvictions.Load()
+	return st
+}
+
+func (s *Store) blockPath(k Key) string {
+	return filepath.Join(s.opts.Dir, k.String()+".blk")
+}
+
+func (s *Store) jobPath(k Key) string {
+	return filepath.Join(s.opts.Dir, k.String()+".job")
+}
+
+// PeerSet tracks which content keys one peer (a slave or fleet member)
+// currently holds — the generalization of delta shipping's per-slave
+// known-set to content addressing. Lookups count against the store's
+// wire-layer hit/miss series: a hit is a block that did not have to be
+// reshipped. The zero value is not usable; obtain one from NewPeerSet.
+type PeerSet struct {
+	store *Store
+	mu    sync.Mutex
+	keys  map[Key]struct{}
+}
+
+// NewPeerSet issues an empty known-set bound to this store's wire-layer
+// counters.
+func (s *Store) NewPeerSet() *PeerSet {
+	return &PeerSet{store: s, keys: make(map[Key]struct{})}
+}
+
+// Knows reports whether the peer holds k, counting a wire hit or miss.
+func (p *PeerSet) Knows(k Key) bool {
+	p.mu.Lock()
+	_, ok := p.keys[k]
+	p.mu.Unlock()
+	if ok {
+		p.store.hits.add(LayerWire)
+	} else {
+		p.store.misses.add(LayerWire)
+	}
+	return ok
+}
+
+// Note records that the peer now holds k.
+func (p *PeerSet) Note(k Key) {
+	p.mu.Lock()
+	p.keys[k] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Reset forgets everything — called when the peer provably dropped its
+// blocks (a fleet member whose attached-job set emptied, a reconnect).
+func (p *PeerSet) Reset() {
+	p.mu.Lock()
+	p.keys = make(map[Key]struct{})
+	p.mu.Unlock()
+}
+
+// Len reports the tracked key count (tests and debugging).
+func (p *PeerSet) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.keys)
+}

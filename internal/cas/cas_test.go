@@ -1,0 +1,271 @@
+package cas
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestKeyDerivationDeterministic(t *testing.T) {
+	if JobKey("abc") != JobKey("abc") {
+		t.Fatal("JobKey not deterministic")
+	}
+	if JobKey("abc") == JobKey("abd") {
+		t.Fatal("JobKey ignores the digest")
+	}
+	p1, p2 := PayloadKey([]byte("one")), PayloadKey([]byte("two"))
+	if p1 == p2 {
+		t.Fatal("PayloadKey collision on distinct payloads")
+	}
+	k := BlockKey("spec", 0, 0, 4, 4, []Key{p1, p2})
+	if k != BlockKey("spec", 0, 0, 4, 4, []Key{p1, p2}) {
+		t.Fatal("BlockKey not deterministic")
+	}
+	if k == BlockKey("spec", 0, 0, 4, 4, []Key{p2, p1}) {
+		t.Fatal("BlockKey ignores predecessor order")
+	}
+	if k == BlockKey("spec", 0, 4, 4, 4, []Key{p1, p2}) {
+		t.Fatal("BlockKey ignores the rectangle")
+	}
+	if k == BlockKey("other", 0, 0, 4, 4, []Key{p1, p2}) {
+		t.Fatal("BlockKey ignores the spec digest")
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	k := PayloadKey([]byte("payload"))
+	got, ok := parseKey(k.String())
+	if !ok || got != k {
+		t.Fatalf("parseKey(%q) = %v, %v", k.String(), got, ok)
+	}
+	if _, ok := parseKey("zz"); ok {
+		t.Fatal("parseKey accepted a short string")
+	}
+	if _, ok := parseKey(string(make([]byte, 64))); ok {
+		t.Fatal("parseKey accepted non-hex input")
+	}
+}
+
+func TestBlockRoundTripAndLayerCounters(t *testing.T) {
+	s, err := NewStore(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := PayloadKey([]byte("x"))
+	if _, ok := s.GetBlock(k, LayerMaster); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.PutBlock(k, []byte("x"))
+	got, ok := s.GetBlock(k, LayerServer)
+	if !ok || string(got) != "x" {
+		t.Fatalf("GetBlock = %q, %v", got, ok)
+	}
+	st := s.Snapshot()
+	if st.Hits[LayerServer] != 1 || st.Misses[LayerMaster] != 1 {
+		t.Fatalf("layer counters wrong: %+v", st)
+	}
+	if st.Blocks != 1 || st.Bytes != 1 {
+		t.Fatalf("snapshot wrong: %+v", st)
+	}
+}
+
+// The byte budget is a hard invariant: after any sequence of inserts the
+// resident block bytes never exceed MaxBytes, oversized payloads are
+// refused outright, and recency protects recently touched entries.
+func TestBlockLRUBudgetProperty(t *testing.T) {
+	const budget = 1 << 10
+	s, err := NewStore(Options{MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var keys []Key
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300) + 1
+		payload := make([]byte, n)
+		rng.Read(payload)
+		k := PayloadKey(payload)
+		s.PutBlock(k, payload)
+		keys = append(keys, k)
+		// Touch a random older key to exercise recency moves.
+		if len(keys) > 2 {
+			s.GetBlock(keys[rng.Intn(len(keys))], LayerMaster)
+		}
+		if st := s.Snapshot(); st.Bytes > budget {
+			t.Fatalf("insert %d: resident bytes %d exceed budget %d", i, st.Bytes, budget)
+		}
+	}
+	if st := s.Snapshot(); st.BlockEvictions == 0 {
+		t.Fatal("500 inserts over a 1KiB budget evicted nothing")
+	}
+
+	// An oversized payload is not stored at all.
+	big := make([]byte, budget+1)
+	bk := PayloadKey(big)
+	s.PutBlock(bk, big)
+	if _, ok := s.GetBlock(bk, LayerMaster); ok {
+		t.Fatal("payload larger than the budget was stored")
+	}
+
+	// The most recently used entry survives an eviction wave.
+	fresh := []byte("fresh")
+	fk := PayloadKey(fresh)
+	s.PutBlock(fk, fresh)
+	s.GetBlock(fk, LayerMaster)
+	for i := 0; i < 50; i++ {
+		p := make([]byte, 100)
+		rng.Read(p)
+		s.PutBlock(PayloadKey(p), p)
+		s.GetBlock(fk, LayerMaster) // keep it hot
+	}
+	if _, ok := s.GetBlock(fk, LayerMaster); !ok {
+		t.Fatal("hot entry was evicted ahead of cold ones")
+	}
+}
+
+func TestJobTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s, err := NewStore(Options{JobTTL: time.Minute, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := JobKey("digest")
+	s.PutJob(k, []byte("result"))
+	if _, ok := s.GetJob(k, LayerServer); !ok {
+		t.Fatal("fresh job entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := s.GetJob(k, LayerServer); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.GetJob(k, LayerServer); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	if st := s.Snapshot(); st.JobEvictions != 1 || st.Jobs != 0 {
+		t.Fatalf("TTL sweep not reflected: %+v", st)
+	}
+	// Re-put refreshes the pin.
+	s.PutJob(k, []byte("result2"))
+	now = now.Add(59 * time.Second)
+	if got, ok := s.GetJob(k, LayerServer); !ok || string(got) != "result2" {
+		t.Fatalf("re-put entry = %q, %v", got, ok)
+	}
+}
+
+func TestDiskPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := PayloadKey([]byte("block"))
+	jk := JobKey("digest")
+	s.PutBlock(bk, []byte("block"))
+	s.PutJob(jk, []byte("job"))
+
+	// A second store over the same directory sees both entries.
+	s2, err := NewStore(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.GetBlock(bk, LayerMaster); !ok || string(got) != "block" {
+		t.Fatalf("reloaded block = %q, %v", got, ok)
+	}
+	if got, ok := s2.GetJob(jk, LayerServer); !ok || string(got) != "job" {
+		t.Fatalf("reloaded job = %q, %v", got, ok)
+	}
+
+	// Junk files are ignored, not fatal.
+	if err := os.WriteFile(dir+"/not-a-key.blk", []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(Options{Dir: dir}); err != nil {
+		t.Fatalf("junk file broke reload: %v", err)
+	}
+}
+
+// Reloading under a budget keeps the newest blocks: files are inserted
+// oldest-first so the LRU evicts the stalest on overflow, and evicted
+// entries disappear from disk too.
+func TestDiskReloadRespectsBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("payload-%02d", i))
+		s.PutBlock(PayloadKey(p), p)
+	}
+	s2, err := NewStore(Options{Dir: dir, MaxBytes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Snapshot(); st.Bytes > 30 {
+		t.Fatalf("reload exceeded budget: %+v", st)
+	}
+}
+
+func TestPeerSet(t *testing.T) {
+	s, err := NewStore(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewPeerSet()
+	k := PayloadKey([]byte("b"))
+	if p.Knows(k) {
+		t.Fatal("empty peer set knows a key")
+	}
+	p.Note(k)
+	if !p.Knows(k) {
+		t.Fatal("noted key unknown")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.Reset()
+	if p.Knows(k) {
+		t.Fatal("key survived Reset")
+	}
+	st := s.Snapshot()
+	if st.Hits[LayerWire] != 1 || st.Misses[LayerWire] != 2 {
+		t.Fatalf("wire counters wrong: hits=%v misses=%v", st.Hits, st.Misses)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := NewStore(Options{MaxBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := s.NewPeerSet()
+			for i := 0; i < 200; i++ {
+				payload := make([]byte, rng.Intn(64)+1)
+				rng.Read(payload)
+				k := PayloadKey(payload)
+				s.PutBlock(k, payload)
+				s.GetBlock(k, LayerMaster)
+				if !p.Knows(k) {
+					p.Note(k)
+				}
+				s.PutJob(JobKey(fmt.Sprint(i%7)), payload)
+				s.GetJob(JobKey(fmt.Sprint(i%5)), LayerServer)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if st := s.Snapshot(); st.Bytes < 0 {
+		t.Fatalf("negative resident bytes: %+v", st)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/dag"
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -134,6 +135,16 @@ type Options struct {
 	// CheckpointPath, when non-empty, persists completed vertices to
 	// this file and resumes from its clean prefix on start.
 	CheckpointPath string
+	// Cache, when non-nil, is the cross-job content-addressed result
+	// store (internal/cas): completed blocks are written through to it,
+	// and newly computable vertices are probed against it and committed
+	// without dispatch on a hit.
+	Cache *cas.Store
+	// CacheKey is the problem-spec content digest the cache keys chain
+	// from. Empty defaults to Spec.Digest() when Spec is non-zero; with
+	// a zero Spec an empty CacheKey leaves caching off even when Cache
+	// is set, since keys could collide across unrelated problems.
+	CacheKey string
 	// Trace optionally records scheduling and membership events.
 	Trace *trace.Recorder
 	// OnProgress, when non-nil, is called after restore and after every
@@ -183,6 +194,9 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = sched.Wall
 	}
+	if o.Cache != nil && o.CacheKey == "" && o.Spec != (Spec{}) {
+		o.CacheKey = o.Spec.Digest()
+	}
 	return o
 }
 
@@ -215,6 +229,14 @@ type Stats struct {
 	// Steals counts queued-but-undispatched vertices revoked from a
 	// loaded member's backlog and requeued toward a hungry one.
 	Steals int64
+	// CacheHits counts vertices served from the cross-job result cache
+	// instead of dispatched; CacheMisses counts probes that fell through
+	// to computation (internal/cas).
+	CacheHits, CacheMisses int64
+	// BlocksShipped counts data-region blocks sent to workers under the
+	// keyed wire format; BlocksSkipped counts blocks replaced by a
+	// content-key reference because the worker already held them.
+	BlocksShipped, BlocksSkipped int64
 	// Leaked is the number of register-table plus lease entries still
 	// live when the run finished; always zero for a clean run (asserted
 	// by the fault soak).
@@ -243,6 +265,10 @@ func (s *Stats) Add(o Stats) {
 	s.SpecWon += o.SpecWon
 	s.SpecWasted += o.SpecWasted
 	s.Steals += o.Steals
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.BlocksShipped += o.BlocksShipped
+	s.BlocksSkipped += o.BlocksSkipped
 	s.Leaked += o.Leaked
 	if o.Elapsed > s.Elapsed {
 		s.Elapsed = o.Elapsed

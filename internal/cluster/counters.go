@@ -12,6 +12,8 @@ type Counters struct {
 	Tasks, Dispatches, Redistributions, Restored atomic.Int64
 	StaleResults, BatchMessages, TaskBytes       atomic.Int64
 	Speculated, SpecWon, SpecWasted, Steals      atomic.Int64
+	CacheHits, CacheMisses                       atomic.Int64
+	BlocksShipped, BlocksSkipped                 atomic.Int64
 }
 
 // Stats materializes the ledger into a plain Stats value. Membership and
@@ -30,5 +32,9 @@ func (c *Counters) Stats() Stats {
 		SpecWon:         c.SpecWon.Load(),
 		SpecWasted:      c.SpecWasted.Load(),
 		Steals:          c.Steals.Load(),
+		CacheHits:       c.CacheHits.Load(),
+		CacheMisses:     c.CacheMisses.Load(),
+		BlocksShipped:   c.BlocksShipped.Load(),
+		BlocksSkipped:   c.BlocksSkipped.Load(),
 	}
 }

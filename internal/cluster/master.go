@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -59,6 +60,15 @@ type Master[T any] struct {
 
 	ckpt     *checkpoint.Writer
 	ckptFile *os.File
+
+	// Cross-job cache (nil when disabled). resultKey[v] is the content
+	// key of v's committed payload, written by the recv loop (or restore)
+	// before the dispatcher publishes v's successors, and read by
+	// blockKey when a successor commits — the dispatcher's internal
+	// ordering provides the happens-before edge.
+	cache     *cas.Store
+	cacheSpec string
+	resultKey []cas.Key
 
 	inbox chan event
 
@@ -154,7 +164,77 @@ func NewMaster[T any](p core.Problem[T], opts Options) (*Master[T], error) {
 	if opts.Spec == (Spec{}) {
 		m.digest = "" // zero spec disables the admission digest check
 	}
+	if opts.Cache != nil && opts.CacheKey != "" {
+		m.cache = opts.Cache
+		m.cacheSpec = opts.CacheKey
+		m.resultKey = make([]cas.Key, len(graph.Verts))
+	}
 	return m, nil
+}
+
+// blockKey derives vertex v's cross-job cache key: the run's spec digest,
+// the block's cell rectangle, and the content keys of its predecessors'
+// committed payloads. Only called once every predecessor has committed.
+func (m *Master[T]) blockKey(v int32) cas.Key {
+	deps := m.graph.Vertex(v).DataPre
+	preds := make([]cas.Key, len(deps))
+	for i, d := range deps {
+		preds[i] = m.resultKey[d]
+	}
+	r := m.geom.Rect(m.geom.PosOf(v))
+	return cas.BlockKey(m.cacheSpec, r.Row0, r.Col0, r.Rows, r.Cols, preds)
+}
+
+// commit is the single write path for a completed block: store insert,
+// content-key recording, cross-job cache write-through, and checkpoint
+// append all happen here, so recovery log and cache can never diverge.
+func (m *Master[T]) commit(v int32, payload []byte, b *matrix.Block[T]) error {
+	m.store.Put(m.geom.PosOf(v), b)
+	if m.cache != nil {
+		m.resultKey[v] = cas.PayloadKey(payload)
+		m.cache.PutBlock(m.blockKey(v), payload)
+	}
+	if m.ckpt != nil {
+		return m.ckpt.Append(v, payload)
+	}
+	return nil
+}
+
+// absorbCached probes the cross-job cache for each newly computable
+// vertex and commits hits in place, cascading through the vertices a hit
+// opens. Returns the misses — what still needs dispatch. A corrupt entry
+// degrades to a miss (recompute), never a wrong result.
+func (m *Master[T]) absorbCached(ids []int32) []int32 {
+	if m.cache == nil {
+		return ids
+	}
+	var miss []int32
+	work := append([]int32(nil), ids...)
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		payload, ok := m.cache.GetBlock(m.blockKey(v), cas.LayerMaster)
+		var b *matrix.Block[T]
+		if ok {
+			blocks, err := matrix.DecodeBlocks(m.p.Codec, payload)
+			if err == nil && len(blocks) == 1 {
+				b = blocks[0]
+			}
+		}
+		if b == nil {
+			m.ctrs.CacheMisses.Add(1)
+			miss = append(miss, v)
+			continue
+		}
+		m.ctrs.CacheHits.Add(1)
+		if err := m.commit(v, payload, b); err != nil {
+			m.finish(err)
+			return miss
+		}
+		work = append(work, m.parser.Complete(v)...)
+		m.progress()
+	}
+	return miss
 }
 
 // Addr returns the address the master listens on.
@@ -315,7 +395,12 @@ func (m *Master[T]) restore() error {
 			if err != nil || len(blocks) != 1 {
 				return fmt.Errorf("cluster: checkpoint payload for vertex %d: %v", v, err)
 			}
-			m.store.Put(m.geom.PosOf(v), blocks[0])
+			// commit re-records the content key and warms the cross-job
+			// cache; m.ckpt is still nil during OpenAppend's replay, so
+			// nothing is double-appended.
+			if err := m.commit(v, payload, blocks[0]); err != nil {
+				return err
+			}
 			delete(ready, v)
 			for _, nv := range m.parser.Complete(v) {
 				ready[nv] = true
@@ -333,6 +418,7 @@ func (m *Master[T]) restore() error {
 		frontier = append(frontier, id)
 	}
 	m.progress()
+	frontier = m.absorbCached(frontier)
 	m.disp.Ready(frontier...)
 	if m.parser.Finished() {
 		m.finish(nil)
@@ -739,18 +825,16 @@ func (m *Master[T]) applyResult(member int, v, attempt int32, payload []byte) {
 		m.finish(fmt.Errorf("cluster: bad result payload for vertex %d from member %d: %v", v, member, err))
 		return
 	}
-	m.store.Put(m.geom.PosOf(v), blocks[0])
+	if err := m.commit(v, payload, blocks[0]); err != nil {
+		m.finish(err)
+		return
+	}
 	m.reg.NoteCompleted(member)
 	m.opts.Trace.TaskEnd(member, v)
 	m.ctrs.Tasks.Add(1)
-	if m.ckpt != nil {
-		if err := m.ckpt.Append(v, payload); err != nil {
-			m.finish(err)
-			return
-		}
-	}
 	newly := m.parser.Complete(v)
 	m.progress()
+	newly = m.absorbCached(newly)
 	m.disp.Ready(newly...)
 	m.opts.Trace.Ready(m.disp.ReadyCount())
 	if m.parser.Finished() {

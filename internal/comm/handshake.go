@@ -22,8 +22,12 @@ import (
 // and the task-batch/result-batch kinds (see wire.go); 3 added the job
 // field on binary frames plus the job-spec/job-end kinds and the fleet
 // hello flag, so one worker can serve several concurrent jobs of a
-// shared fleet.
-const ProtocolVersion = 3
+// shared fleet; 4 added the keyed data-region encoding (negative leading
+// count, content keys and reference records — matrix/codec_keyed.go), so
+// a worker already holding a block by content is sent a 44-byte reference
+// instead of the block. A v3 worker would reject the negative count as
+// corruption, hence the generation bump.
+const ProtocolVersion = 4
 
 // Hello is the first frame on every worker connection: who is joining and
 // what problem it believes the cluster is solving.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/comm"
 	"repro/internal/dag"
 	"repro/internal/trace"
@@ -147,6 +148,19 @@ type Config struct {
 	// bottom-right corner of a wavefront), so leave it off when the full
 	// matrix is needed for traceback.
 	ReclaimBlocks bool
+	// Cache, when non-nil, is the cross-job content-addressed result
+	// store (internal/cas): before dispatching a computable sub-task the
+	// master probes it by content key, a hit applying the stored block
+	// without drawing a lease, and every completed block is written
+	// through. When DeltaShipping is also on, the per-slave known-sets
+	// generalize to content keys issued by the same store, so its
+	// wire-layer counters see every skipped reship. Requires CacheKey.
+	Cache *cas.Store
+	// CacheKey is the content digest of the problem spec (kernel plus
+	// inputs, scheduling knobs excluded) that scopes this run's entries
+	// in Cache. Empty disables caching even when Cache is set: without a
+	// spec identity, per-vertex keys would collide across problems.
+	CacheKey string
 	// Checkpoint, when non-nil, receives a checkpoint record for every
 	// completed processor-level sub-task (see internal/checkpoint).
 	Checkpoint io.Writer

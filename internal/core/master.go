@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/dag"
@@ -61,6 +62,19 @@ type master[T any] struct {
 	// knownMu (senders and the recv loop both touch it).
 	knownMu sync.Mutex
 	known   [][]bool
+
+	// Cross-job memoization (Config.Cache). resultKey[v] is the content
+	// key of v's committed payload; entries are written by the recv loop
+	// (and the restore replay) before the dispatcher publishes v's
+	// successors, so senders reading a completed dependency's key are
+	// ordered behind the write by the dispatcher's own lock. peers[s],
+	// present when DeltaShipping is also on, is slave s's known-set
+	// generalized to content keys — issued by the store so wire-layer
+	// hits and misses land in its metrics.
+	cache     *cas.Store
+	cacheSpec string
+	resultKey []cas.Key
+	peers     []*cas.PeerSet
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -139,6 +153,17 @@ func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Tra
 			m.known[s] = make([]bool, len(graph.Verts))
 		}
 	}
+	if cfg.Cache != nil && cfg.CacheKey != "" {
+		m.cache = cfg.Cache
+		m.cacheSpec = cfg.CacheKey
+		m.resultKey = make([]cas.Key, len(graph.Verts))
+		if m.known != nil {
+			m.peers = make([]*cas.PeerSet, cfg.Slaves+1)
+			for s := 1; s <= cfg.Slaves; s++ {
+				m.peers[s] = m.cache.NewPeerSet()
+			}
+		}
+	}
 	if err := m.restore(); err != nil {
 		return nil, err
 	}
@@ -193,6 +218,12 @@ func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Tra
 	//lint:ignore ctx-select bounded join: tr.Close() above forces recvLoop's Recv to error out, and cancellation already flowed through finish — selecting on ctx here would leak the loop
 	<-recvDone
 	ftWG.Wait()
+
+	if ss, ok := m.store.(*matrix.SpillStore[T]); ok {
+		spills, loads := ss.IO()
+		ctrs.spills.Store(spills)
+		ctrs.spillLoads.Store(loads)
+	}
 
 	m.errMu.Lock()
 	err := m.err
@@ -446,12 +477,27 @@ func (m *master[T]) signalIdle(s int) {
 }
 
 // filterKnown drops blocks slave s already holds and marks the remainder
-// as held once this dispatch ships them.
+// as held once this dispatch ships them. In cache mode the test runs
+// against the slave's content-keyed PeerSet — the same decision keyed by
+// content instead of vertex id, routed through the store so the skip
+// shows up in the wire-layer metrics. m.known stays updated in both
+// modes: the affinity policy scores against it.
 func (m *master[T]) filterKnown(s int, deps []int32) []int32 {
 	m.knownMu.Lock()
 	defer m.knownMu.Unlock()
 	out := make([]int32, 0, len(deps))
 	for _, d := range deps {
+		if m.peers != nil {
+			if m.peers[s].Knows(m.resultKey[d]) {
+				m.ctrs.blocksSkipped.Add(1)
+				m.known[s][d] = true
+				continue
+			}
+			m.peers[s].Note(m.resultKey[d])
+			m.known[s][d] = true
+			out = append(out, d)
+			continue
+		}
 		if m.known[s][d] {
 			m.ctrs.blocksSkipped.Add(1)
 			continue
@@ -460,6 +506,75 @@ func (m *master[T]) filterKnown(s int, deps []int32) []int32 {
 		out = append(out, d)
 	}
 	return out
+}
+
+// blockKey derives vertex v's cross-job cache key: the run's spec digest,
+// the block's cell rectangle, and the content keys of its predecessors'
+// committed payloads. Only called once every predecessor has committed.
+func (m *master[T]) blockKey(v int32) cas.Key {
+	deps := m.graph.Vertex(v).DataPre
+	preds := make([]cas.Key, len(deps))
+	for i, d := range deps {
+		preds[i] = m.resultKey[d]
+	}
+	r := m.geom.Rect(m.geom.PosOf(v))
+	return cas.BlockKey(m.cacheSpec, r.Row0, r.Col0, r.Rows, r.Cols, preds)
+}
+
+// commit is the single write path for a completed block: store insert,
+// content-key recording, cross-job cache write-through, and checkpoint
+// append all happen here, so recovery log and cache can never diverge.
+// Only called from the recv loop and the restore replay.
+func (m *master[T]) commit(v int32, payload []byte, b *matrix.Block[T]) error {
+	m.store.Put(m.geom.PosOf(v), b)
+	if m.cache != nil {
+		m.resultKey[v] = cas.PayloadKey(payload)
+		m.cache.PutBlock(m.blockKey(v), payload)
+	}
+	if m.ckpt != nil {
+		return m.ckpt.Append(v, payload)
+	}
+	return nil
+}
+
+// absorbCached drains the cross-job cache across newly computable
+// vertices: a hit commits the stored block as if its result had just
+// arrived — no lease drawn, no dispatch — and cascades into whatever it
+// unlocks. The vertices that missed are returned for normal dispatch.
+// Only called from the recv loop and restore, which own parser and store
+// mutation.
+func (m *master[T]) absorbCached(ids []int32) []int32 {
+	if m.cache == nil {
+		return ids
+	}
+	var miss []int32
+	work := append([]int32(nil), ids...)
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		payload, ok := m.cache.GetBlock(m.blockKey(v), cas.LayerMaster)
+		var b *matrix.Block[T]
+		if ok {
+			if blocks, err := matrix.DecodeBlocks(m.p.Codec, payload); err == nil && len(blocks) == 1 {
+				b = blocks[0]
+			}
+		}
+		if b == nil {
+			// Miss — or a corrupt entry, which must degrade to recompute.
+			m.ctrs.cacheMisses.Add(1)
+			miss = append(miss, v)
+			continue
+		}
+		m.ctrs.cacheHits.Add(1)
+		if err := m.commit(v, payload, b); err != nil {
+			m.finish(err)
+			return miss
+		}
+		newly := m.parser.Complete(v)
+		m.afterComplete(v)
+		work = append(work, newly...)
+	}
+	return miss
 }
 
 // applyResult commits one computed vertex: register-table acceptance,
@@ -494,23 +609,24 @@ func (m *master[T]) applyResult(from int, v, attempt int32, payload []byte) {
 		m.finish(fmt.Errorf("core: bad result payload for vertex %d from slave %d: %v", v, from, err))
 		return
 	}
-	m.store.Put(m.geom.PosOf(v), blocks[0])
+	if err := m.commit(v, payload, blocks[0]); err != nil {
+		m.finish(err)
+		return
+	}
 	if m.known != nil && from >= 1 && from < len(m.known) {
 		// The computing slave now holds its own output block.
 		m.knownMu.Lock()
 		m.known[from][v] = true
+		if m.peers != nil {
+			m.peers[from].Note(m.resultKey[v])
+		}
 		m.knownMu.Unlock()
 	}
 	m.cfg.Trace.TaskEnd(from-1, v)
 	m.ctrs.tasks.Add(1)
-	if m.ckpt != nil {
-		if err := m.ckpt.Append(v, payload); err != nil {
-			m.finish(err)
-			return
-		}
-	}
 	newly := m.parser.Complete(v)
 	m.afterComplete(v)
+	newly = m.absorbCached(newly)
 	m.reportProgress()
 	m.disp.Ready(newly...)
 	m.cfg.Trace.Ready(m.disp.ReadyCount())
@@ -568,19 +684,18 @@ func (m *master[T]) restore() error {
 			if err != nil || len(blocks) != 1 {
 				return fmt.Errorf("core: checkpoint payload for vertex %d: %v", v, err)
 			}
-			m.store.Put(m.geom.PosOf(v), blocks[0])
+			// commit re-records restored work so the new checkpoint
+			// stream stays self-contained, and writes it through to the
+			// cross-job cache — a restored run warms the cache exactly
+			// like a computed one.
+			if err := m.commit(v, payload, blocks[0]); err != nil {
+				return err
+			}
 			delete(ready, v)
 			for _, nv := range m.parser.Complete(v) {
 				ready[nv] = true
 			}
 			m.afterComplete(v)
-			// Re-record restored work so the new checkpoint stream
-			// stays self-contained.
-			if m.ckpt != nil {
-				if err := m.ckpt.Append(v, payload); err != nil {
-					return err
-				}
-			}
 			return nil
 		})
 		if err != nil {
@@ -592,6 +707,7 @@ func (m *master[T]) restore() error {
 	for id := range ready {
 		frontier = append(frontier, id)
 	}
+	frontier = m.absorbCached(frontier)
 	m.reportProgress()
 	m.disp.Ready(frontier...)
 	if m.parser.Finished() {

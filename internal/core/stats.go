@@ -53,6 +53,13 @@ type Stats struct {
 	// TaskBytes is the total payload bytes of task messages sent to
 	// slaves (both per-vertex and batched), before transport framing.
 	TaskBytes int64
+	// CacheHits counts processor-level sub-tasks served from the
+	// cross-job result cache instead of dispatched; CacheMisses counts
+	// cache probes that fell through to computation (Config.Cache).
+	CacheHits, CacheMisses int64
+	// Spills and SpillLoads count blocks written to and reloaded from
+	// the out-of-core spill store (Config.SpillDir).
+	Spills, SpillLoads int64
 	// Messages and PayloadBytes are the transport traffic totals
 	// (in-process runs only).
 	Messages, PayloadBytes int64
@@ -74,6 +81,8 @@ type counters struct {
 	blocksShipped, blocksSkipped                     atomic.Int64
 	batchMessages, taskBytes                         atomic.Int64
 	speculated, specWon, specWasted, steals          atomic.Int64
+	cacheHits, cacheMisses                           atomic.Int64
+	spills, spillLoads                               atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -96,6 +105,10 @@ func (c *counters) snapshot() Stats {
 		SpecWon:         c.specWon.Load(),
 		SpecWasted:      c.specWasted.Load(),
 		Steals:          c.steals.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		CacheMisses:     c.cacheMisses.Load(),
+		Spills:          c.spills.Load(),
+		SpillLoads:      c.spillLoads.Load(),
 	}
 }
 

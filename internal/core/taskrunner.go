@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cas"
 	"repro/internal/dag"
 	"repro/internal/matrix"
 )
@@ -19,6 +20,13 @@ type TaskRunner[T any] struct {
 	cfg  Config
 	geom dag.Geometry
 	ctrs *counters
+
+	// seen, when set, is the worker's content-addressed block cache for
+	// the keyed wire format: shipped blocks and computed outputs are
+	// recorded under their content keys, and reference records resolve
+	// against it. Shared across a process's runners and only touched
+	// from the goroutine that calls Run, so it needs no lock.
+	seen map[[32]byte]*matrix.Block[T]
 }
 
 // NewTaskRunner validates the problem and configuration (defaults
@@ -44,19 +52,47 @@ func NewTaskRunner[T any](p Problem[T], cfg Config) (*TaskRunner[T], error) {
 // problem has (grid cells, holes included).
 func (r *TaskRunner[T]) NumTasks() int { return r.geom.Grid.Cells() }
 
+// SetBlockCache hands the runner a content-addressed block map, shared
+// with the process's other runners, enabling the keyed wire format: a
+// task payload in that format records its shipped blocks and resolves
+// its reference records against the map, and the computed output is
+// recorded under its content key so the master can send a reference the
+// next time any job needs an identical block. The caller owns the map's
+// lifetime and must confine it to the goroutine calling Run.
+func (r *TaskRunner[T]) SetBlockCache(seen map[[32]byte]*matrix.Block[T]) {
+	r.seen = seen
+}
+
 // Run executes vertex with the given encoded data region and returns the
 // encoded output block.
 func (r *TaskRunner[T]) Run(vertex int32, payload []byte) ([]byte, error) {
 	if vertex < 0 || int(vertex) >= r.NumTasks() {
 		return nil, fmt.Errorf("core: task vertex %d outside grid %v", vertex, r.geom.Grid)
 	}
-	inputs, err := matrix.DecodeBlocks(r.p.Codec, payload)
+	var resolve func([32]byte) (*matrix.Block[T], bool)
+	var record func([32]byte, *matrix.Block[T])
+	if r.seen != nil {
+		resolve = func(k [32]byte) (*matrix.Block[T], bool) {
+			b, ok := r.seen[k]
+			return b, ok
+		}
+		record = func(k [32]byte, b *matrix.Block[T]) {
+			r.seen[k] = b
+		}
+	}
+	inputs, keyed, err := matrix.DecodeBlocksAny(r.p.Codec, payload, resolve, record)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding data region of vertex %d: %w", vertex, err)
 	}
 	rect := r.geom.Rect(r.geom.PosOf(vertex))
 	out := computeBlock(r.p, r.cfg, rect, inputs, nil, vertex, r.ctrs)
-	return matrix.EncodeBlocks(r.p.Codec, []*matrix.Block[T]{out})
+	encoded, err := matrix.EncodeBlocks(r.p.Codec, []*matrix.Block[T]{out})
+	if err == nil && keyed && r.seen != nil {
+		// A keyed task means the master tracks this worker's holdings by
+		// content key; mirror its bookkeeping by recording the output.
+		r.seen[[32]byte(cas.PayloadKey(encoded))] = out
+	}
+	return encoded, err
 }
 
 // SubTasks returns the number of thread-level sub-sub-tasks executed so

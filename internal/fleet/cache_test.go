@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/core"
+)
+
+// TestFleetCacheWarmResubmission covers the master and wire cache layers
+// over a real TCP fleet: a cold job fills the store and — with a single
+// worker — must suppress reships of blocks the worker already holds
+// (content-keyed PeerSet refs); an identical resubmission completes
+// entirely from cache without dispatching one task.
+func TestFleetCacheWarmResubmission(t *testing.T) {
+	store, err := cas.NewStore(cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New[int32](Options{
+		Addr:              "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Cache:             store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	wctx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		_ = RunWorker(wctx, testBuilder, WorkerOptions{
+			Addr:              f.Addr(),
+			Name:              "w0",
+			HeartbeatInterval: 50 * time.Millisecond,
+			Run:               core.Config{Threads: 2},
+		})
+	}()
+
+	prob, want := mustProblem(t, "edit")
+	req := JobRequest{Name: "edit", CacheKey: "fleet-cache:edit"}
+
+	cold, err := f.Run(context.Background(), prob, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatrix(t, "cold", cold.Store.Assemble(), want)
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses == 0 {
+		t.Fatalf("cold run cache counters wrong: %+v", cold.Stats)
+	}
+	// With one worker, every dependency block is that worker's own
+	// output, noted in its PeerSet when the result arrived — so every
+	// task ships references only, never a payload block.
+	if cold.Stats.BlocksShipped != 0 {
+		t.Fatalf("single-worker run reshipped its own outputs: %+v", cold.Stats)
+	}
+	if cold.Stats.BlocksSkipped == 0 {
+		t.Fatalf("single-worker run suppressed no reships: %+v", cold.Stats)
+	}
+	if st := store.Snapshot(); st.Hits[cas.LayerWire] == 0 {
+		t.Fatalf("wire layer recorded no hits: %+v", st)
+	}
+
+	warm, err := f.Run(context.Background(), prob, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatrix(t, "warm", warm.Store.Assemble(), want)
+	if warm.Stats.Tasks != 0 || warm.Stats.Dispatches != 0 {
+		t.Fatalf("warm resubmission dispatched work: %+v", warm.Stats)
+	}
+	if warm.Stats.CacheHits != cold.Stats.Tasks {
+		t.Fatalf("warm hits %d != cold tasks %d", warm.Stats.CacheHits, cold.Stats.Tasks)
+	}
+
+	// A different CacheKey over the same store recomputes from scratch.
+	other, err := f.Run(context.Background(), prob, JobRequest{Name: "edit", CacheKey: "fleet-cache:edit-v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatrix(t, "rekeyed", other.Store.Assemble(), want)
+	if other.Stats.CacheHits != 0 {
+		t.Fatalf("re-keyed job reused old entries: %+v", other.Stats)
+	}
+
+	stopWorker()
+	f.Close()
+	wwg.Wait()
+}
+
+// TestFleetCacheKeyEmptyDisables: without a CacheKey the job neither
+// probes nor fills the store, even when the fleet has one attached.
+func TestFleetCacheKeyEmptyDisables(t *testing.T) {
+	store, err := cas.NewStore(cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New[int32](Options{
+		Addr:              "127.0.0.1:0",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Cache:             store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	wctx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		_ = RunWorker(wctx, testBuilder, WorkerOptions{
+			Addr:              f.Addr(),
+			Name:              "w0",
+			HeartbeatInterval: 50 * time.Millisecond,
+			Run:               core.Config{Threads: 2},
+		})
+	}()
+
+	prob, want := mustProblem(t, "edit")
+	res, err := f.Run(context.Background(), prob, JobRequest{Name: "edit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatrix(t, "uncached", res.Store.Assemble(), want)
+	if res.Stats.CacheHits != 0 || res.Stats.CacheMisses != 0 {
+		t.Fatalf("uncached job touched the cache: %+v", res.Stats)
+	}
+	if st := store.Snapshot(); st.Blocks != 0 {
+		t.Fatalf("uncached job filled the store: %+v", st)
+	}
+
+	stopWorker()
+	f.Close()
+	wwg.Wait()
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -80,6 +81,14 @@ type Options struct {
 	// Steal enables feeding hungry workers from the most loaded member's
 	// undispatched backlog.
 	Steal bool
+	// Cache, when non-nil, is the cross-job content-addressed result
+	// store (internal/cas), shared by every job that submits a CacheKey:
+	// computable vertices are probed before dispatch (a hit applies the
+	// stored block without drawing a lease), completed blocks are
+	// written through alongside the checkpoint, and task payloads switch
+	// to the keyed wire format, where a block a member already holds is
+	// replaced by a content-key reference.
+	Cache *cas.Store
 	// Clock is the time source for all deadline machinery; nil means the
 	// wall clock, tests inject a sched.FakeClock.
 	Clock sched.Clock
@@ -204,9 +213,15 @@ type memberConn struct {
 	stopOnce sync.Once
 
 	// attached tracks which jobs this member holds kernel state for
-	// (job-spec sent, job-end not yet).
+	// (job-spec sent, job-end not yet). known, present when the fleet
+	// has a result store, is the member's content-keyed known-set for
+	// the keyed wire format. Both are guarded by attachMu: every Note
+	// and Knows must be ordered against the attach/detach frames, and in
+	// particular against the Reset that mirrors the worker dropping its
+	// block cache when its last job detaches.
 	attachMu sync.Mutex
 	attached map[int32]bool
+	known    *cas.PeerSet
 }
 
 func (mc *memberConn) close() {
@@ -309,9 +324,24 @@ func (f *Fleet[T]) Run(ctx context.Context, p core.Problem[T], req JobRequest) (
 	if err != nil {
 		return nil, err
 	}
+	if f.opts.Cache != nil && req.CacheKey != "" {
+		jb.cache = f.opts.Cache
+		jb.cacheSpec = req.CacheKey
+		jb.resultKey = make([]cas.Key, len(jb.graph.Verts))
+	}
 	frontier, err := jb.restore()
 	if err != nil {
 		return nil, err
+	}
+	// Drain the cross-job cache before the job is registered: hits commit
+	// without drawing leases, and a fully cached job never touches the
+	// pool at all.
+	frontier = f.absorbCached(jb, frontier)
+	if jb.finished() {
+		if err := jb.finalErr(); err != nil {
+			return nil, err
+		}
+		return &Result[T]{Store: jb.store, Stats: jb.stats()}, nil
 	}
 
 	f.mu.Lock()
@@ -394,6 +424,13 @@ func (f *Fleet[T]) retire(jb *job[T]) {
 			delete(mc.attached, jb.id)
 			//lint:ignore blocking-under-lock the detach frame must be ordered against this member's task sends, which only attachMu serializes; the write is bounded by the connection's write timeout, and attachMu is a leaf per member
 			_ = mc.cn.Send(comm.Message{Kind: comm.KindJobEnd, Job: jb.id})
+			if len(mc.attached) == 0 && mc.known != nil {
+				// The worker drops its content-addressed block cache when
+				// its last job detaches; this JobEnd is that frame, so
+				// the master's view of the member's holdings resets on
+				// the same ordered boundary.
+				mc.known.Reset()
+			}
 		}
 		mc.attachMu.Unlock()
 	}
@@ -463,6 +500,9 @@ func (f *Fleet[T]) admit(c net.Conn) {
 		idle:     make(chan struct{}, 4),
 		stop:     make(chan struct{}),
 		attached: make(map[int32]bool),
+	}
+	if f.opts.Cache != nil {
+		mc.known = f.opts.Cache.NewPeerSet()
 	}
 	f.connMu.Lock()
 	f.conns[member.ID] = mc
@@ -630,7 +670,16 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 		return false
 	}
 	now := f.clock.Now()
-	entries := make([]comm.TaskEntry, 0, len(ids))
+	// pend holds the registered vertices with their gathered data regions;
+	// encoding is deferred so that in cache mode the known-set decisions
+	// (full block vs content-key reference) happen under attachMu, ordered
+	// against the detach that clears the member's set.
+	type pendingTask struct {
+		vertex, attempt int32
+		deps            []int32
+		blocks          []*matrix.Block[T]
+	}
+	pend := make([]pendingTask, 0, len(ids))
 	// held collects speculation-flagged vertices this member already runs
 	// the primary attempt of: their flag is restored by register, and they
 	// go back on the ready stack for another member to back up.
@@ -649,13 +698,7 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 			positions[k] = jb.geom.PosOf(d)
 		}
 		blocks := jb.store.Gather(positions)
-		payload, err := matrix.EncodeBlocks(jb.p.Codec, blocks)
-		if err != nil {
-			jb.finish(fmt.Errorf("fleet: encoding data region of vertex %d: %w", v, err), now)
-			f.retire(jb)
-			return true
-		}
-		deadline := now.Add(jb.req.TaskTimeout * time.Duration(len(entries)+1))
+		deadline := now.Add(jb.req.TaskTimeout * time.Duration(len(pend)+1))
 		if backup {
 			jb.leases.Add(v, mc.id, attempt, now)
 			jb.ot.AddConcurrent(v, attempt, deadline)
@@ -667,29 +710,50 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 		}
 		jb.tr.TaskStart(mc.id, v)
 		jb.ctrs.Dispatches.Add(1)
-		entries = append(entries, comm.TaskEntry{Vertex: v, Attempt: attempt, Payload: payload})
+		pend = append(pend, pendingTask{vertex: v, attempt: attempt, deps: deps, blocks: blocks})
 	}
 	if len(held) > 0 {
 		f.requeue(jb, held...)
 	}
-	if len(entries) == 0 {
+	if len(pend) == 0 {
 		// When the whole draw was backups this member holds the primary
 		// of, consume the idle token: drawing again right away could pop
 		// the same vertices forever. Another member's sender picks them up.
 		return len(held) > 0
 	}
-	bytes := 0
-	for _, e := range entries {
-		bytes += len(e.Payload)
-	}
-	jb.ctrs.TaskBytes.Add(int64(bytes))
-	jb.tr.Dispatch(mc.id, len(entries), bytes)
-	var msg comm.Message
-	if len(entries) == 1 {
-		msg = comm.Message{Kind: comm.KindTask, Job: jb.id, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
-	} else {
-		jb.ctrs.BatchMessages.Add(1)
-		msg = comm.Message{Kind: comm.KindTaskBatch, Job: jb.id, Batch: entries}
+	// encode builds each task's payload. Cache mode uses the keyed wire
+	// format: blocks the member provably holds become references, the
+	// rest ship in full and are noted as held. Must run under attachMu.
+	encode := func() ([]comm.TaskEntry, error) {
+		entries := make([]comm.TaskEntry, 0, len(pend))
+		for _, pt := range pend {
+			var payload []byte
+			var err error
+			if jb.cache != nil && mc.known != nil {
+				full := make([]matrix.KeyedBlock[T], 0, len(pt.blocks))
+				var refs []matrix.BlockRef
+				for i, d := range pt.deps {
+					k := jb.resultKey[d]
+					if mc.known.Knows(k) {
+						refs = append(refs, matrix.BlockRef{Key: [32]byte(k), Rect: pt.blocks[i].Rect})
+						jb.ctrs.BlocksSkipped.Add(1)
+						continue
+					}
+					mc.known.Note(k)
+					full = append(full, matrix.KeyedBlock[T]{Key: [32]byte(k), Block: pt.blocks[i]})
+					jb.ctrs.BlocksShipped.Add(1)
+				}
+				payload, err = matrix.EncodeBlocksKeyed(jb.p.Codec, full, refs)
+			} else {
+				jb.ctrs.BlocksShipped.Add(int64(len(pt.blocks)))
+				payload, err = matrix.EncodeBlocks(jb.p.Codec, pt.blocks)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fleet: encoding data region of vertex %d: %w", pt.vertex, err)
+			}
+			entries = append(entries, comm.TaskEntry{Vertex: pt.vertex, Attempt: pt.attempt, Payload: payload})
+		}
+		return entries, nil
 	}
 	// Attach and send under attachMu, serialized against retire's detach:
 	// a job observed finished here is being (or has been) detached from
@@ -700,28 +764,49 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 	mc.attachMu.Lock()
 	if jb.finished() {
 		mc.attachMu.Unlock()
-		for _, e := range entries {
-			jb.leases.ReleaseAttempt(e.Vertex, e.Attempt)
-			jb.ot.RemoveAttempt(e.Vertex, e.Attempt)
-			jb.noteAttemptGone(e.Vertex, e.Attempt)
-			jb.rt.CancelAttempt(e.Vertex, e.Attempt)
+		for _, pt := range pend {
+			jb.leases.ReleaseAttempt(pt.vertex, pt.attempt)
+			jb.ot.RemoveAttempt(pt.vertex, pt.attempt)
+			jb.noteAttemptGone(pt.vertex, pt.attempt)
+			jb.rt.CancelAttempt(pt.vertex, pt.attempt)
 		}
 		return false
 	}
+	entries, encErr := encode()
 	var err error
-	if !mc.attached[jb.id] {
-		// The connection is ordered, so the spec always precedes the
-		// job's tasks.
-		//lint:ignore blocking-under-lock the attach frame and the task must reach the wire without a detach interleaving, which only attachMu serializes; the write is bounded by the connection's write timeout, and attachMu is a leaf per member
-		if err = mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta}); err == nil {
-			mc.attached[jb.id] = true
+	if encErr == nil {
+		bytes := 0
+		for _, e := range entries {
+			bytes += len(e.Payload)
+		}
+		jb.ctrs.TaskBytes.Add(int64(bytes))
+		jb.tr.Dispatch(mc.id, len(entries), bytes)
+		var msg comm.Message
+		if len(entries) == 1 {
+			msg = comm.Message{Kind: comm.KindTask, Job: jb.id, Vertex: entries[0].Vertex, Attempt: entries[0].Attempt, Payload: entries[0].Payload}
+		} else {
+			jb.ctrs.BatchMessages.Add(1)
+			msg = comm.Message{Kind: comm.KindTaskBatch, Job: jb.id, Batch: entries}
+		}
+		if !mc.attached[jb.id] {
+			// The connection is ordered, so the spec always precedes the
+			// job's tasks.
+			//lint:ignore blocking-under-lock the attach frame and the task must reach the wire without a detach interleaving, which only attachMu serializes; the write is bounded by the connection's write timeout, and attachMu is a leaf per member
+			if err = mc.cn.Send(comm.Message{Kind: comm.KindJobSpec, Job: jb.id, Payload: jb.meta}); err == nil {
+				mc.attached[jb.id] = true
+			}
+		}
+		if err == nil {
+			//lint:ignore blocking-under-lock the task send is serialized against retire's JobEnd by attachMu (PR 6 review invariant); the write is bounded by the connection's write timeout, and attachMu is a leaf per member
+			err = mc.cn.Send(msg)
 		}
 	}
-	if err == nil {
-		//lint:ignore blocking-under-lock the task send is serialized against retire's JobEnd by attachMu (PR 6 review invariant); the write is bounded by the connection's write timeout, and attachMu is a leaf per member
-		err = mc.cn.Send(msg)
-	}
 	mc.attachMu.Unlock()
+	if encErr != nil {
+		jb.finish(encErr, now)
+		f.retire(jb)
+		return true
+	}
 	if err != nil {
 		// The pump (or heartbeat sweep) will revoke this member's
 		// leases, including the ones just granted; nothing to unwind.
@@ -936,17 +1021,31 @@ func (f *Fleet[T]) applyResult(member int, jobID, v, attempt int32, payload []by
 		f.retire(jb)
 		return
 	}
-	jb.store.Put(jb.geom.PosOf(v), blocks[0])
+	if err := jb.commit(v, payload, blocks[0]); err != nil {
+		jb.finish(err, now)
+		f.retire(jb)
+		return
+	}
+	if jb.cache != nil {
+		// The member computed this block, so it holds the output: note the
+		// content key so a later dispatch can ship a reference instead.
+		// Only while the job is still attached — a detach clears the set,
+		// and a note landing after the clear would claim a holding the
+		// worker dropped with its runner state.
+		f.connMu.Lock()
+		mc := f.conns[member]
+		f.connMu.Unlock()
+		if mc != nil {
+			mc.attachMu.Lock()
+			if mc.known != nil && mc.attached[jobID] {
+				mc.known.Note(jb.resultKey[v])
+			}
+			mc.attachMu.Unlock()
+		}
+	}
 	f.reg.NoteCompleted(member)
 	jb.tr.TaskEnd(member, v)
 	jb.ctrs.Tasks.Add(1)
-	if jb.ckpt != nil {
-		if err := jb.ckpt.Append(v, payload); err != nil {
-			jb.finish(err, now)
-			f.retire(jb)
-			return
-		}
-	}
 	newly := jb.parser.Complete(v)
 	jb.progress()
 	if jb.parser.Finished() {
@@ -954,7 +1053,56 @@ func (f *Fleet[T]) applyResult(member int, jobID, v, attempt int32, payload []by
 		f.retire(jb)
 		return
 	}
+	newly = f.absorbCached(jb, newly)
+	if jb.finished() {
+		return
+	}
 	f.requeueReady(jb, newly)
+}
+
+// absorbCached probes the cross-job result cache for each newly computable
+// vertex and commits hits in place, cascading: a hit's completion may open
+// further vertices, which are probed in turn. Returns the misses — the
+// vertices that still need dispatch. A corrupt cache entry degrades to a
+// miss (recompute), never to a wrong result, because commit re-derives the
+// content key from the stored payload. If the drain finishes the job it is
+// retired here and the empty remainder returned.
+func (f *Fleet[T]) absorbCached(jb *job[T], ids []int32) []int32 {
+	if jb.cache == nil {
+		return ids
+	}
+	var miss []int32
+	work := append([]int32(nil), ids...)
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		payload, ok := jb.cache.GetBlock(jb.blockKey(v), cas.LayerMaster)
+		var b *matrix.Block[T]
+		if ok {
+			blocks, err := matrix.DecodeBlocks(jb.p.Codec, payload)
+			if err == nil && len(blocks) == 1 {
+				b = blocks[0]
+			}
+		}
+		if b == nil {
+			jb.ctrs.CacheMisses.Add(1)
+			miss = append(miss, v)
+			continue
+		}
+		jb.ctrs.CacheHits.Add(1)
+		if err := jb.commit(v, payload, b); err != nil {
+			jb.finish(err, f.clock.Now())
+			f.retire(jb)
+			return miss
+		}
+		work = append(work, jb.parser.Complete(v)...)
+		jb.progress()
+	}
+	if jb.parser.Finished() {
+		jb.finish(nil, f.clock.Now())
+		f.retire(jb)
+	}
+	return miss
 }
 
 // requeueReady pushes newly computable vertices onto jb's ready stack.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -53,6 +54,14 @@ type JobRequest struct {
 	// Timeout fails the job when it has run longer than this on the
 	// fleet clock (0 = no bound).
 	Timeout time.Duration
+	// CacheKey is the content digest of the job's problem spec (kernel
+	// plus inputs, scheduling knobs excluded) scoping its entries in the
+	// fleet's cross-job result store (Options.Cache). Note JobMeta's
+	// digest cannot serve here: it covers Name and partition sizes, so
+	// identical problems submitted under different names or partitions
+	// would never share cache entries. Empty disables caching for this
+	// job even when the fleet has a store.
+	CacheKey string
 	// CheckpointPath, when non-empty, persists the job's completed
 	// vertices and resumes from the clean prefix on resubmission.
 	CheckpointPath string
@@ -155,6 +164,16 @@ type job[T any] struct {
 	ckpt     *checkpoint.Writer
 	ckptFile *os.File
 
+	// Cross-job memoization (Options.Cache + JobRequest.CacheKey).
+	// resultKey[v] is the content key of v's committed payload, written
+	// only where parser and store are mutated (Fleet.Run's startup and
+	// the recv loop); senders reading a completed dependency's key in
+	// dispatch are ordered behind the write by the fleet mutex, which
+	// already serializes the ready handoff.
+	cache     *cas.Store
+	cacheSpec string
+	resultKey []cas.Key
+
 	// ready is the job's computable-vertex stack (LIFO, like the
 	// single-job dispatcher); guarded by the fleet's mutex, which also
 	// covers served and drawn for the policy's consistent view.
@@ -246,6 +265,37 @@ func newJob[T any](id int32, p core.Problem[T], req JobRequest, clock sched.Cloc
 	return jb, nil
 }
 
+// blockKey derives vertex v's cross-job cache key: the job's spec
+// digest, the block's cell rectangle, and the content keys of its
+// predecessors' committed payloads. Only called once every predecessor
+// has committed.
+func (jb *job[T]) blockKey(v int32) cas.Key {
+	deps := jb.graph.Vertex(v).DataPre
+	preds := make([]cas.Key, len(deps))
+	for i, d := range deps {
+		preds[i] = jb.resultKey[d]
+	}
+	r := jb.geom.Rect(jb.geom.PosOf(v))
+	return cas.BlockKey(jb.cacheSpec, r.Row0, r.Col0, r.Rows, r.Cols, preds)
+}
+
+// commit is the single write path for a completed block: store insert,
+// content-key recording, cross-job cache write-through, and checkpoint
+// append all happen here, so recovery log and cache can never diverge.
+// Only called from Fleet.Run's startup (restore, absorb) and the fleet
+// recv loop.
+func (jb *job[T]) commit(v int32, payload []byte, b *matrix.Block[T]) error {
+	jb.store.Put(jb.geom.PosOf(v), b)
+	if jb.cache != nil {
+		jb.resultKey[v] = cas.PayloadKey(payload)
+		jb.cache.PutBlock(jb.blockKey(v), payload)
+	}
+	if jb.ckpt != nil {
+		return jb.ckpt.Append(v, payload)
+	}
+	return nil
+}
+
 // restore replays the job's checkpoint prefix (when configured) and
 // returns the computable frontier. Mirrors the single-job master's
 // restore, scoped to this job's graph and store.
@@ -266,7 +316,13 @@ func (jb *job[T]) restore() ([]int32, error) {
 			if err != nil || len(blocks) != 1 {
 				return fmt.Errorf("fleet: checkpoint payload for vertex %d: %v", v, err)
 			}
-			jb.store.Put(jb.geom.PosOf(v), blocks[0])
+			// commit writes the restored block through to the cross-job
+			// cache (jb.ckpt is still nil during OpenAppend's replay, so
+			// nothing is double-appended): a resumed run warms the cache
+			// exactly like a computed one.
+			if err := jb.commit(v, payload, blocks[0]); err != nil {
+				return err
+			}
 			delete(ready, v)
 			for _, nv := range jb.parser.Complete(v) {
 				ready[nv] = true

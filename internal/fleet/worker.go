@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/matrix"
 )
 
 // WorkerOptions configures one fleet worker process.
@@ -151,8 +152,14 @@ func RunWorker[T any](ctx context.Context, build Builder[T], opts WorkerOptions)
 	}
 
 	// runners holds the attached jobs' kernel state; only the recv loop
-	// touches it.
+	// touches it. seen is the process-wide content-addressed block cache
+	// shared by all runners (the worker half of the keyed wire format);
+	// it is cleared whenever the attached set empties, mirroring the
+	// master's per-member known-set reset — the JobSpec/JobEnd frames are
+	// ordered on this one connection, so both sides observe the same
+	// "last job detached" instant.
 	runners := make(map[int32]*core.TaskRunner[T])
+	seen := make(map[[32]byte]*matrix.Block[T])
 	runnerFor := func(job int32) (*core.TaskRunner[T], error) {
 		r, ok := runners[job]
 		if !ok {
@@ -214,9 +221,17 @@ func RunWorker[T any](ctx context.Context, build Builder[T], opts WorkerOptions)
 			if err != nil {
 				return fmt.Errorf("fleet: member %d preparing job %q: %w", member, meta.Name, err)
 			}
+			r.SetBlockCache(seen)
 			runners[meta.Job] = r
 		case comm.KindJobEnd:
 			delete(runners, msg.Job)
+			if len(runners) == 0 {
+				// Mirror the master's known-set reset: with no job
+				// attached the master has forgotten what we hold, so
+				// drop the blocks. Every runner holding the old map was
+				// just deleted; future attaches get the fresh one.
+				seen = make(map[[32]byte]*matrix.Block[T])
+			}
 		case comm.KindTask:
 			noteActivity()
 			r, err := runnerFor(msg.Job)

@@ -1,0 +1,133 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+)
+
+// Content-keyed wire format for task inputs, used when the cross-job
+// result cache is on. It differs from the plain EncodeBlocks layout in
+// two ways: every record carries the block's 32-byte content key, and a
+// record may be a *reference* — the key and rect alone, no cells — naming
+// a block the receiver provably already holds, so a content-identical
+// block is never reshipped.
+//
+// The format is distinguished by the leading count, written as -(n+1):
+// always negative, even for zero records, so the receiver can tell keyed
+// payloads apart (and knows to record block keys) without any
+// out-of-band flag. A plain-format decoder rejects the negative count
+// loudly, which is the desired failure mode for version skew.
+//
+// Record layout after the count: a blockHeader, then the 32-byte key. A
+// negative Rows field marks a reference (the true row count is -Rows and
+// no cells follow); a positive Rows field is a full block, cells
+// following as in the plain format.
+
+// KeyedBlock pairs a block with its content key for the keyed format.
+type KeyedBlock[T any] struct {
+	Key   [32]byte
+	Block *Block[T]
+}
+
+// BlockRef names a block by rect and content key, without its cells.
+type BlockRef struct {
+	Key  [32]byte
+	Rect dag.Rect
+}
+
+// EncodeBlocksKeyed serializes full blocks and references in the keyed
+// format. Receivers resolve each record in order, so the concatenation
+// full-then-refs is the decoded block order.
+func EncodeBlocksKeyed[T any](c Codec[T], full []KeyedBlock[T], refs []BlockRef) ([]byte, error) {
+	var buf bytes.Buffer
+	n := len(full) + len(refs)
+	if err := binary.Write(&buf, binary.LittleEndian, int32(-(n + 1))); err != nil {
+		return nil, err
+	}
+	for _, kb := range full {
+		b := kb.Block
+		h := blockHeader{int32(b.Rect.Row0), int32(b.Rect.Col0), int32(b.Rect.Rows), int32(b.Rect.Cols)}
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			return nil, err
+		}
+		if _, err := buf.Write(kb.Key[:]); err != nil {
+			return nil, err
+		}
+		if err := c.EncodeCells(&buf, b.Cells); err != nil {
+			return nil, err
+		}
+	}
+	for _, ref := range refs {
+		h := blockHeader{int32(ref.Rect.Row0), int32(ref.Rect.Col0), int32(-ref.Rect.Rows), int32(ref.Rect.Cols)}
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			return nil, err
+		}
+		if _, err := buf.Write(ref.Key[:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBlocksAny decodes either wire format. Plain payloads behave
+// exactly like DecodeBlocks and touch neither callback. For keyed
+// payloads, each full block is reported through record (nil is allowed)
+// before being returned, and each reference is resolved through resolve;
+// a nil resolve or a resolve miss is an error — a reference the receiver
+// cannot resolve means the sender's known-set diverged, which must fail
+// loudly rather than compute on garbage. keyed reports which format was
+// seen, so a runner knows whether to record its own output's key.
+func DecodeBlocksAny[T any](c Codec[T], data []byte, resolve func([32]byte) (*Block[T], bool), record func([32]byte, *Block[T])) (blocks []*Block[T], keyed bool, err error) {
+	r := bytes.NewReader(data)
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, false, err
+	}
+	if n >= 0 {
+		b, err := DecodeBlocks(c, data)
+		return b, false, err
+	}
+	count := -n - 1
+	blocks = make([]*Block[T], 0, count)
+	for i := int32(0); i < count; i++ {
+		var h blockHeader
+		if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+			return nil, true, err
+		}
+		var key [32]byte
+		if _, err := io.ReadFull(r, key[:]); err != nil {
+			return nil, true, err
+		}
+		if h.Rows < 0 {
+			if resolve == nil {
+				return nil, true, fmt.Errorf("matrix: block reference %x with no resolver", key[:6])
+			}
+			b, ok := resolve(key)
+			if !ok {
+				return nil, true, fmt.Errorf("matrix: unresolvable block reference %x (rect %d,%d %dx%d)", key[:6], h.Row0, h.Col0, -h.Rows, h.Cols)
+			}
+			want := dag.Rect{Row0: int(h.Row0), Col0: int(h.Col0), Rows: int(-h.Rows), Cols: int(h.Cols)}
+			if b.Rect != want {
+				return nil, true, fmt.Errorf("matrix: block reference %x resolved to rect %+v, want %+v", key[:6], b.Rect, want)
+			}
+			blocks = append(blocks, b)
+			continue
+		}
+		if h.Rows == 0 || h.Cols <= 0 {
+			return nil, true, fmt.Errorf("matrix: invalid keyed block header %+v", h)
+		}
+		b := NewBlock[T](dag.Rect{Row0: int(h.Row0), Col0: int(h.Col0), Rows: int(h.Rows), Cols: int(h.Cols)})
+		if err := c.DecodeCells(r, b.Cells); err != nil {
+			return nil, true, err
+		}
+		if record != nil {
+			record(key, b)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, true, nil
+}

@@ -1,0 +1,149 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cas"
+	"repro/internal/dag"
+)
+
+func keyedTestBlock(r dag.Rect, base int32) *Block[int32] {
+	b := NewBlock[int32](r)
+	for i := range b.Cells {
+		b.Cells[i] = base + int32(i)
+	}
+	return b
+}
+
+func TestKeyedRoundTripFullBlocks(t *testing.T) {
+	c := BinaryCodec[int32]{}
+	b1 := keyedTestBlock(dag.Rect{Row0: 0, Col0: 0, Rows: 2, Cols: 3}, 10)
+	b2 := keyedTestBlock(dag.Rect{Row0: 2, Col0: 0, Rows: 1, Cols: 3}, 100)
+	full := []KeyedBlock[int32]{
+		{Key: [32]byte{1}, Block: b1},
+		{Key: [32]byte{2}, Block: b2},
+	}
+	data, err := EncodeBlocksKeyed(c, full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := map[[32]byte]*Block[int32]{}
+	blocks, keyed, err := DecodeBlocksAny(c, data, nil, func(k [32]byte, b *Block[int32]) { recorded[k] = b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyed {
+		t.Fatal("keyed payload decoded as plain")
+	}
+	if len(blocks) != 2 || blocks[0].Rect != b1.Rect || blocks[1].Rect != b2.Rect {
+		t.Fatalf("wrong blocks: %+v", blocks)
+	}
+	for i, want := range b1.Cells {
+		if blocks[0].Cells[i] != want {
+			t.Fatalf("cell %d = %d, want %d", i, blocks[0].Cells[i], want)
+		}
+	}
+	if len(recorded) != 2 || recorded[[32]byte{1}] == nil || recorded[[32]byte{2}] == nil {
+		t.Fatalf("record callback saw %d keys", len(recorded))
+	}
+}
+
+func TestKeyedReferencesResolve(t *testing.T) {
+	c := BinaryCodec[int32]{}
+	held := keyedTestBlock(dag.Rect{Row0: 4, Col0: 4, Rows: 2, Cols: 2}, 7)
+	key := [32]byte{9, 9}
+	fresh := keyedTestBlock(dag.Rect{Row0: 0, Col0: 0, Rows: 2, Cols: 2}, 1)
+	data, err := EncodeBlocksKeyed(c,
+		[]KeyedBlock[int32]{{Key: [32]byte{1}, Block: fresh}},
+		[]BlockRef{{Key: key, Rect: held.Rect}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(k [32]byte) (*Block[int32], bool) {
+		if k == key {
+			return held, true
+		}
+		return nil, false
+	}
+	blocks, keyed, err := DecodeBlocksAny(c, data, resolve, nil)
+	if err != nil || !keyed {
+		t.Fatalf("decode: %v keyed=%v", err, keyed)
+	}
+	if len(blocks) != 2 || blocks[1] != held {
+		t.Fatalf("reference did not resolve to the held block: %+v", blocks)
+	}
+}
+
+func TestKeyedReferenceFailuresAreLoud(t *testing.T) {
+	c := BinaryCodec[int32]{}
+	rect := dag.Rect{Row0: 0, Col0: 0, Rows: 2, Cols: 2}
+	data, err := EncodeBlocksKeyed(c, nil, []BlockRef{{Key: [32]byte{5}, Rect: rect}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No resolver at all.
+	if _, _, err := DecodeBlocksAny(c, data, nil, nil); err == nil {
+		t.Fatal("nil resolver did not error")
+	}
+	// Resolver miss.
+	miss := func([32]byte) (*Block[int32], bool) { return nil, false }
+	if _, _, err := DecodeBlocksAny(c, data, miss, nil); err == nil || !strings.Contains(err.Error(), "unresolvable") {
+		t.Fatalf("resolver miss: %v", err)
+	}
+	// Resolver returns a block with the wrong rect.
+	wrong := func([32]byte) (*Block[int32], bool) {
+		return NewBlock[int32](dag.Rect{Row0: 9, Col0: 9, Rows: 2, Cols: 2}), true
+	}
+	if _, _, err := DecodeBlocksAny(c, data, wrong, nil); err == nil || !strings.Contains(err.Error(), "rect") {
+		t.Fatalf("rect mismatch: %v", err)
+	}
+}
+
+// The leading count is negative even for an empty keyed payload, so
+// keyed-ness is always detectable, and the plain decoder rejects keyed
+// payloads loudly (the version-skew failure mode).
+func TestKeyedFormatDiscrimination(t *testing.T) {
+	c := BinaryCodec[int32]{}
+	empty, err := EncodeBlocksKeyed[int32](c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, keyed, err := DecodeBlocksAny(c, empty, nil, nil)
+	if err != nil || !keyed || len(blocks) != 0 {
+		t.Fatalf("empty keyed payload: blocks=%v keyed=%v err=%v", blocks, keyed, err)
+	}
+	if _, err := DecodeBlocks(c, empty); err == nil {
+		t.Fatal("plain decoder accepted a keyed payload")
+	}
+
+	// Plain payloads pass through DecodeBlocksAny untouched.
+	b := keyedTestBlock(dag.Rect{Rows: 2, Cols: 2}, 3)
+	plain, err := EncodeBlocks(c, []*Block[int32]{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := false
+	blocks, keyed, err = DecodeBlocksAny(c, plain, nil, func([32]byte, *Block[int32]) { touched = true })
+	if err != nil || keyed || touched || len(blocks) != 1 {
+		t.Fatalf("plain payload: keyed=%v touched=%v err=%v", keyed, touched, err)
+	}
+}
+
+// Identical payload bytes produce identical content keys on both sides of
+// the wire — the agreement the known-sets depend on.
+func TestPayloadKeyAgreesAcrossEncodes(t *testing.T) {
+	c := BinaryCodec[int32]{}
+	b := keyedTestBlock(dag.Rect{Row0: 1, Col0: 2, Rows: 3, Cols: 4}, 20)
+	p1, err := EncodeBlocks(c, []*Block[int32]{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EncodeBlocks(c, []*Block[int32]{b.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cas.PayloadKey(p1) != cas.PayloadKey(p2) {
+		t.Fatal("identical blocks encoded to different content keys")
+	}
+}

@@ -49,6 +49,9 @@ func (m *Manager) runFleet(ctx context.Context, j *Job) (*core.Result[int32], er
 		Weight:   j.Spec.Weight,
 		Priority: j.Spec.Priority,
 		Timeout:  m.cfg.Run.RunTimeout,
+		// The kernel+inputs digest scopes the fleet's per-block cache
+		// keys; the fleet only uses it when it has a store attached.
+		CacheKey: j.digest,
 		OnProgress: func(completed, total int) {
 			j.completed.Store(int64(completed))
 			j.total.Store(int64(total))
@@ -92,6 +95,8 @@ func coreStats(s cluster.Stats) core.Stats {
 		SpecWon:         s.SpecWon,
 		SpecWasted:      s.SpecWasted,
 		Steals:          s.Steals,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
 		Elapsed:         s.Elapsed,
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -62,6 +64,10 @@ type Job struct {
 	// one.
 	ID   string
 	Spec JobSpec
+
+	// digest is the spec's kernel+inputs fingerprint — the identity the
+	// whole-job cache and the single-flight table key on.
+	digest string
 
 	problem core.Problem[int32]
 	finish  finishFunc
@@ -164,6 +170,13 @@ type ManagerConfig struct {
 	// (a slot is held while its job is in flight on the fleet). The
 	// manager does not own the fleet; the caller closes it.
 	Fleet *fleet.Fleet[int32]
+	// Cache, when non-nil, is the content-addressed result store. The
+	// manager uses its whole-job tier: a submission whose spec digest has
+	// a cached result answers immediately without holding a run slot, and
+	// every computed result is written through. (The single-flight table
+	// that coalesces concurrent identical submissions is independent of
+	// the cache and always on.)
+	Cache *cas.Store
 	// MaxConcurrent is the number of run slots — jobs executing on the
 	// cluster at once. Default 2.
 	MaxConcurrent int
@@ -236,7 +249,16 @@ type Manager struct {
 	seq      uint64
 	jobs     map[string]*Job
 	running  map[string]*Job
+	flights  map[string]*flight
 	draining bool
+}
+
+// flight is one live computation of a spec digest: the leader is the job
+// actually enqueued; followers are identical submissions that arrived
+// while the leader was in flight and share its outcome when it settles.
+type flight struct {
+	leader    *Job
+	followers []*Job
 }
 
 // NewManager starts a manager with MaxConcurrent run slots.
@@ -256,6 +278,7 @@ func NewManager(cfg ManagerConfig, reg *Registry) *Manager {
 		quit:       make(chan struct{}),
 		jobs:       make(map[string]*Job),
 		running:    make(map[string]*Job),
+		flights:    make(map[string]*flight),
 		metrics:    newMetrics(),
 	}
 	if cfg.Fleet != nil {
@@ -276,7 +299,10 @@ func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
 
 // Submit validates spec, assigns a globally unique id and enqueues the
 // job. It returns ErrBusy when the bounded queue is full and
-// ErrShuttingDown after Shutdown began.
+// ErrShuttingDown after Shutdown began. A spec whose result is already in
+// the whole-job cache returns a finished job immediately; a spec identical
+// to one already in flight is coalesced onto it (single-flight) and shares
+// its outcome without consuming queue space or a run slot.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	problem, finish, err := m.reg.Build(spec)
 	if err != nil {
@@ -295,29 +321,66 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	j := &Job{
 		ID:        fmt.Sprintf("job-%d", m.seq),
 		Spec:      spec,
+		digest:    spec.cacheDigest(),
 		problem:   problem,
 		finish:    finish,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	m.jobs[j.ID] = j
-	m.mu.Unlock()
 
+	// Whole-job memoization: an identical finished job answers from the
+	// cache without touching the queue. A corrupt entry falls through to
+	// recompute — the cache can degrade service to a miss, never corrupt
+	// an answer.
+	if m.cfg.Cache != nil {
+		if payload, ok := m.cfg.Cache.GetJob(cas.JobKey(j.digest), cas.LayerServer); ok {
+			var result JobResult
+			if err := json.Unmarshal(payload, &result); err == nil {
+				result.Cached = true
+				j.state = StateDone
+				j.result = &result
+				j.finished = time.Now()
+				close(j.done)
+				m.jobs[j.ID] = j
+				m.mu.Unlock()
+				m.metrics.submitted.Add(1)
+				m.metrics.observeFinal(StateDone, 0)
+				return j, nil
+			}
+		}
+	}
+
+	// Single-flight: an identical submission already in flight absorbs
+	// this one as a follower; the leader's settlement resolves it. This
+	// dedup works with the cache disabled too.
+	if fl := m.flights[j.digest]; fl != nil {
+		fl.followers = append(fl.followers, j)
+		m.jobs[j.ID] = j
+		m.mu.Unlock()
+		m.metrics.submitted.Add(1)
+		m.metrics.coalesced.Add(1)
+		return j, nil
+	}
+
+	// Reserve the queue spot before publishing the flight, all under one
+	// lock hold, so a rejected submission can never have gathered
+	// followers that would then be stranded.
 	select {
 	case m.queue <- j:
-		m.metrics.submitted.Add(1)
-		return j, nil
 	default:
 		// Backpressure: reject instead of buffering without bound. The
 		// id is spent — the counter is monotonic, so rejected ids are
 		// simply never visible.
-		m.mu.Lock()
-		delete(m.jobs, j.ID)
 		m.mu.Unlock()
 		m.metrics.rejected.Add(1)
 		return nil, ErrBusy
 	}
+	m.flights[j.digest] = &flight{leader: j}
+	m.jobs[j.ID] = j
+	m.mu.Unlock()
+	m.metrics.submitted.Add(1)
+	return j, nil
 }
 
 // Get returns a job by id.
@@ -365,6 +428,9 @@ func (m *Manager) Cancel(id string) error {
 		close(j.done)
 		j.mu.Unlock()
 		m.metrics.observeFinal(StateCancelled, 0)
+		// If j led a single-flight group, its followers must not die with
+		// it — settlement promotes one of them to a fresh leader.
+		m.settleFlight(j)
 		return nil
 	case StateRunning:
 		cancel := j.cancel
@@ -407,6 +473,8 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 				m.metrics.observeFinal(StateCancelled, 0)
 			}
 			j.mu.Unlock()
+			// Settlement sees draining and cancels any followers too.
+			m.settleFlight(j)
 			continue
 		default:
 		}
@@ -513,6 +581,108 @@ func (m *Manager) run(j *Job) {
 	close(j.done)
 	j.mu.Unlock()
 	m.metrics.observeFinal(final, latency)
+
+	if final == StateDone && m.cfg.Cache != nil {
+		// Write-through to the whole-job cache. The stored copy keeps
+		// Cached=false — the flag describes how a particular submission
+		// was served, not the payload.
+		if payload, err := json.Marshal(j.result); err == nil {
+			m.cfg.Cache.PutJob(cas.JobKey(j.digest), payload)
+		}
+	}
+	m.settleFlight(j)
+}
+
+// settleFlight resolves the single-flight group j led, if any. Followers
+// share a done leader's result (marked Cached — they did not compute it)
+// or a failed leader's error. A cancelled leader does not doom its
+// followers: cancellation targets one job id, not the computation, so the
+// survivors are promoted into a fresh flight whose leader re-enters the
+// queue.
+func (m *Manager) settleFlight(j *Job) {
+	m.mu.Lock()
+	fl := m.flights[j.digest]
+	if fl == nil || fl.leader != j {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.flights, j.digest)
+	followers := fl.followers
+	m.mu.Unlock()
+	if len(followers) == 0 {
+		return
+	}
+
+	j.mu.Lock()
+	state, result, errText := j.state, j.result, j.err
+	j.mu.Unlock()
+
+	now := time.Now()
+	finalize := func(f *Job, st State, res *JobResult, errText string) {
+		f.mu.Lock()
+		if f.state.Terminal() {
+			f.mu.Unlock()
+			return
+		}
+		f.state = st
+		f.result = res
+		f.err = errText
+		f.finished = now
+		close(f.done)
+		f.mu.Unlock()
+		m.metrics.observeFinal(st, 0)
+	}
+
+	switch state {
+	case StateDone:
+		shared := *result
+		shared.Cached = true
+		for _, f := range followers {
+			finalize(f, StateDone, &shared, "")
+		}
+	case StateFailed:
+		for _, f := range followers {
+			finalize(f, StateFailed, nil, errText)
+		}
+	case StateCancelled:
+		var live []*Job
+		for _, f := range followers {
+			f.mu.Lock()
+			terminal := f.state.Terminal()
+			f.mu.Unlock()
+			if !terminal {
+				live = append(live, f)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			for _, f := range live {
+				finalize(f, StateCancelled, nil, "")
+			}
+			return
+		}
+		if cur := m.flights[j.digest]; cur != nil {
+			// A new identical submission started its own flight between
+			// our delete and now; ride it instead of racing it.
+			cur.followers = append(cur.followers, live...)
+			m.mu.Unlock()
+			return
+		}
+		select {
+		case m.queue <- live[0]:
+			m.flights[j.digest] = &flight{leader: live[0], followers: live[1:]}
+			m.mu.Unlock()
+		default:
+			m.mu.Unlock()
+			for _, f := range live {
+				finalize(f, StateFailed, nil, ErrBusy.Error())
+			}
+		}
+	}
 }
 
 func sortStatuses(s []JobStatus) {

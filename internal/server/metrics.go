@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -23,6 +24,7 @@ var latencyBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 type metrics struct {
 	submitted atomic.Int64 // jobs admitted into the queue
 	rejected  atomic.Int64 // submissions refused with 429
+	coalesced atomic.Int64 // submissions absorbed by an identical in-flight job
 
 	// final[state] counts jobs that reached each terminal state.
 	finalMu sync.Mutex
@@ -41,6 +43,8 @@ type metrics struct {
 	specWon    atomic.Int64
 	specWasted atomic.Int64
 	steals     atomic.Int64
+	spills     atomic.Int64
+	spillLoads atomic.Int64
 
 	// Per-job latency histogram over jobs that actually ran.
 	histMu    sync.Mutex
@@ -87,6 +91,8 @@ func (x *metrics) addRunStats(s core.Stats) {
 	x.specWon.Add(s.SpecWon)
 	x.specWasted.Add(s.SpecWasted)
 	x.steals.Add(s.Steals)
+	x.spills.Add(s.Spills)
+	x.spillLoads.Add(s.SpillLoads)
 }
 
 // SetClusterStats attaches an elastic-cluster snapshot source (typically
@@ -138,6 +144,7 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP easyhps_jobs_submitted_total Jobs admitted into the queue.\n# TYPE easyhps_jobs_submitted_total counter\neasyhps_jobs_submitted_total %d\n", x.submitted.Load())
 	fmt.Fprintf(w, "# HELP easyhps_jobs_rejected_total Submissions refused by admission control.\n# TYPE easyhps_jobs_rejected_total counter\neasyhps_jobs_rejected_total %d\n", x.rejected.Load())
+	fmt.Fprintf(w, "# HELP easyhps_jobs_coalesced_total Submissions absorbed by an identical in-flight job (single-flight).\n# TYPE easyhps_jobs_coalesced_total counter\neasyhps_jobs_coalesced_total %d\n", x.coalesced.Load())
 	fmt.Fprintf(w, "# HELP easyhps_queue_depth Jobs waiting for a run slot.\n# TYPE easyhps_queue_depth gauge\neasyhps_queue_depth %d\n", m.QueueDepth())
 	fmt.Fprintf(w, "# HELP easyhps_queue_capacity Size of the bounded submission queue.\n# TYPE easyhps_queue_capacity gauge\neasyhps_queue_capacity %d\n", m.cfg.QueueDepth)
 	fmt.Fprintf(w, "# HELP easyhps_run_slots Maximum concurrently running jobs.\n# TYPE easyhps_run_slots gauge\neasyhps_run_slots %d\n", m.cfg.MaxConcurrent)
@@ -210,10 +217,38 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP easyhps_speculative_waste_ratio Wasted fraction of dispatched speculative backups.\n# TYPE easyhps_speculative_waste_ratio gauge\neasyhps_speculative_waste_ratio 0\n")
 	}
 
+	fmt.Fprintf(w, "# HELP easyhps_spill_total Blocks spilled to disk by memory-bounded stores across all runs.\n# TYPE easyhps_spill_total counter\neasyhps_spill_total %d\n", x.spills.Load())
+	fmt.Fprintf(w, "# HELP easyhps_spill_load_total Spilled blocks loaded back from disk across all runs.\n# TYPE easyhps_spill_load_total counter\neasyhps_spill_load_total %d\n", x.spillLoads.Load())
+
+	if m.cfg.Cache != nil {
+		writeCache(w, m.cfg.Cache.Snapshot())
+	}
+
 	x.histMu.Lock()
 	counts, sum, n := x.histCount, x.histSum, x.histN
 	x.histMu.Unlock()
 	writeLatencyHistogram(w, counts, sum, n)
+}
+
+// writeCache emits the content-addressed result store's series, labelled
+// by consumer layer (server = whole-job memoization, master = per-block
+// memoization, wire = content-keyed shipping suppression).
+func writeCache(w io.Writer, s cas.Stats) {
+	fmt.Fprintf(w, "# HELP easyhps_cache_hits_total Result-cache hits by consumer layer.\n# TYPE easyhps_cache_hits_total counter\n")
+	for _, l := range []cas.Layer{cas.LayerServer, cas.LayerMaster, cas.LayerWire} {
+		fmt.Fprintf(w, "easyhps_cache_hits_total{layer=%q} %d\n", l, s.Hits[l])
+	}
+	fmt.Fprintf(w, "# HELP easyhps_cache_misses_total Result-cache misses by consumer layer.\n# TYPE easyhps_cache_misses_total counter\n")
+	for _, l := range []cas.Layer{cas.LayerServer, cas.LayerMaster, cas.LayerWire} {
+		fmt.Fprintf(w, "easyhps_cache_misses_total{layer=%q} %d\n", l, s.Misses[l])
+	}
+	fmt.Fprintf(w, "# HELP easyhps_cache_evictions_total Result-cache entries dropped (blocks by the LRU byte budget, jobs by TTL).\n# TYPE easyhps_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "easyhps_cache_evictions_total{kind=\"block\"} %d\n", s.BlockEvictions)
+	fmt.Fprintf(w, "easyhps_cache_evictions_total{kind=\"job\"} %d\n", s.JobEvictions)
+	fmt.Fprintf(w, "# HELP easyhps_cache_bytes Resident result-cache payload bytes.\n# TYPE easyhps_cache_bytes gauge\neasyhps_cache_bytes %d\n", s.Bytes)
+	fmt.Fprintf(w, "# HELP easyhps_cache_entries Resident result-cache entries by kind.\n# TYPE easyhps_cache_entries gauge\n")
+	fmt.Fprintf(w, "easyhps_cache_entries{kind=\"block\"} %d\n", s.Blocks)
+	fmt.Fprintf(w, "easyhps_cache_entries{kind=\"job\"} %d\n", s.Jobs)
 }
 
 // writeMembership emits the elastic-membership series shared by cluster

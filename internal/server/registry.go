@@ -9,6 +9,8 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -44,6 +46,17 @@ type JobSpec struct {
 	Priority int     `json:"priority,omitempty"`
 }
 
+// cacheDigest fingerprints the spec's kernel and inputs — the identity the
+// whole-job cache and the single-flight table coalesce on. Scheduling
+// knobs (Weight, Priority) are excluded: they change how a job runs, never
+// what it answers. The %q quoting keeps adjacent fields from aliasing
+// (e.g. seq_a="ab",seq_b="c" vs seq_a="a",seq_b="bc").
+func (s JobSpec) cacheDigest() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("easyhps-job:1:%s:%q:%q:%d:%d:%d",
+		s.Kernel, s.SeqA, s.SeqB, s.N, s.Seed, s.Capacity)))
+	return hex.EncodeToString(h[:8])
+}
+
 // JobResult is the answer of a finished job: the kernel's headline scalar
 // (edit distance, alignment score, pair count, ...) plus a human-readable
 // description and the run's scheduling statistics.
@@ -56,6 +69,10 @@ type JobResult struct {
 	Detail string `json:"detail"`
 	// Cells is the DP matrix size that was computed.
 	Cells int64 `json:"cells"`
+	// Cached marks a result served from the whole-job cache (or shared
+	// from a coalesced in-flight computation) instead of computed for
+	// this submission.
+	Cached bool `json:"cached,omitempty"`
 	// Stats summarizes the run.
 	Stats RunStats `json:"stats"`
 }
@@ -70,6 +87,10 @@ type RunStats struct {
 	PayloadBytes    int64   `json:"payload_bytes"`
 	BatchMessages   int64   `json:"batch_messages,omitempty"`
 	TaskBytes       int64   `json:"task_bytes,omitempty"`
+	CacheHits       int64   `json:"cache_hits,omitempty"`
+	CacheMisses     int64   `json:"cache_misses,omitempty"`
+	Spills          int64   `json:"spills,omitempty"`
+	SpillLoads      int64   `json:"spill_loads,omitempty"`
 	ElapsedSeconds  float64 `json:"elapsed_seconds"`
 }
 
@@ -83,6 +104,10 @@ func projectStats(s core.Stats) RunStats {
 		PayloadBytes:    s.PayloadBytes,
 		BatchMessages:   s.BatchMessages,
 		TaskBytes:       s.TaskBytes,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		Spills:          s.Spills,
+		SpillLoads:      s.SpillLoads,
 		ElapsedSeconds:  s.Elapsed.Seconds(),
 	}
 }

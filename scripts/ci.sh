@@ -75,6 +75,7 @@ check_cover internal/comm 82
 check_cover internal/core 86
 check_cover internal/cluster 75
 check_cover internal/fleet 80
+check_cover internal/cas 80
 # The analyzer itself: the fixture suites for every rule keep the
 # short-mode number here; the repo-wide gates only run un-short.
 check_cover internal/lint 76
