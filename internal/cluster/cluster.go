@@ -151,6 +151,12 @@ type Options struct {
 	// completed vertex with (completed, total). It runs on the master's
 	// receive loop, so it must be fast and must not block.
 	OnProgress func(completed, total int)
+	// OnDeath, when non-nil, is called with the member id whenever the
+	// master declares a member dead — connection failure, failed
+	// handshake, or the heartbeat sweep. It runs on the master's
+	// internal loops, so it must be fast, must not block, and must not
+	// call back into the master.
+	OnDeath func(member int)
 }
 
 // withDefaults fills the defaulted fields.

@@ -85,6 +85,18 @@ type Master[T any] struct {
 
 	ran  atomic.Bool
 	ctrs Counters
+
+	// onTick, when non-nil, runs at the end of every control-loop tick,
+	// after sweep, overtime expiry and speculation have all been applied
+	// for that tick — a deterministic wait point for FakeClock tests.
+	onTick func()
+}
+
+// noteDeath reports a declared death to the OnDeath hook, if any.
+func (m *Master[T]) noteDeath(member int) {
+	if m.opts.OnDeath != nil {
+		m.opts.OnDeath(member)
+	}
 }
 
 // event is one unit of the master's serialized input: a message from a
@@ -462,6 +474,7 @@ func (m *Master[T]) admit(c net.Conn) {
 	member := m.reg.Admit(hello.Name, c.RemoteAddr().String())
 	if err := cn.SendWelcome(comm.Welcome{Version: comm.ProtocolVersion, Member: member.ID}); err != nil {
 		m.reg.MarkDead(member.ID)
+		m.noteDeath(member.ID)
 		cn.Close()
 		return
 	}
@@ -857,6 +870,7 @@ func (m *Master[T]) memberDown(member int, cause error) {
 		return
 	}
 	_ = cause
+	m.noteDeath(member)
 	m.revoke(member)
 }
 
@@ -938,6 +952,7 @@ func (m *Master[T]) controlLoop() {
 				// Sweep already marked it dead; revoke directly (the
 				// MarkDead in memberDown would see a dead member and
 				// skip).
+				m.noteDeath(id)
 				m.revoke(id)
 			}
 			for _, e := range m.ot.ExpireBefore(now) {
@@ -957,6 +972,9 @@ func (m *Master[T]) controlLoop() {
 			}
 			if m.opts.Speculate {
 				m.maybeSpeculate()
+			}
+			if m.onTick != nil {
+				m.onTick()
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -142,6 +143,12 @@ func (r *Registry) Sweep(now time.Time, interval time.Duration, miss int) []int 
 		}
 	}
 	r.mu.Unlock()
+	// The scan above walks the member map, so the transition lists come
+	// out in map order; sort them so the trace stream and the caller's
+	// revocation order are deterministic functions of membership history
+	// (the simulator's byte-identical-trace contract depends on it).
+	sort.Ints(suspected)
+	sort.Ints(died)
 	for _, id := range suspected {
 		r.tr.Member(id, "suspect")
 	}

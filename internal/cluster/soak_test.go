@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/testseed"
 )
 
 // TestSoakBatchedFaults hammers the batched dispatch path with membership
@@ -26,7 +27,7 @@ func TestSoakBatchedFaults(t *testing.T) {
 	const runs = 200
 	const vertices = 64 // 8x8 processor grid of the shared test problem
 	prob, want, spec := testProblem(t)
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(testseed.Seed(t, 1)))
 
 	for run := 0; run < runs; run++ {
 		batch := 1 + rng.Intn(8)
@@ -42,6 +43,13 @@ func TestSoakBatchedFaults(t *testing.T) {
 		opts.Steal = steal
 		faultAt := make(chan struct{})
 		opts.OnProgress = progressTrigger(threshold, faultAt)
+		death := make(chan struct{}, 1)
+		opts.OnDeath = func(int) {
+			select {
+			case death <- struct{}{}:
+			default:
+			}
+		}
 
 		m, err := cluster.NewMaster(prob, opts)
 		if err != nil {
@@ -64,8 +72,9 @@ func TestSoakBatchedFaults(t *testing.T) {
 				h.Partition(victim)
 				// Hold the partition until the heartbeat sweep declares the
 				// victim dead (bounded by the run's own RunTimeout).
-				for m.Registry().Metrics().Deaths == 0 && ctx.Err() == nil {
-					time.Sleep(5 * time.Millisecond)
+				select {
+				case <-death:
+				case <-ctx.Done():
 				}
 				h.Heal(victim)
 			case 2:

@@ -66,17 +66,16 @@ func checkMatrix(t *testing.T, label string, got, want [][]int32) {
 	}
 }
 
-// pollUntil waits for an asynchronous effect of a FakeClock advance with
-// short real-time sleeps (the fake clock removes the need to sleep for
-// the timeouts themselves).
-func pollUntil(t *testing.T, what string, cond func() bool) {
+// waitTick receives one control-loop tick completion (the onTick hook
+// fires after the tick's sweep/overtime/speculation work is done), so the
+// caller can assert the tick's effects without polling. The real-time
+// timeout only bounds a wedged loop.
+func waitTick(t *testing.T, ticks <-chan struct{}) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-ticks:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a control-loop tick")
 	}
 }
 
@@ -236,6 +235,8 @@ func TestClusterOvertimeFakeClock(t *testing.T) {
 	if err := m.restore(); err != nil {
 		t.Fatal(err)
 	}
+	ticks := make(chan struct{}, 8)
+	m.onTick = func() { ticks <- struct{}{} }
 	loopDone := make(chan struct{})
 	go func() {
 		m.controlLoop()
@@ -263,10 +264,10 @@ func TestClusterOvertimeFakeClock(t *testing.T) {
 
 		fake.Advance(opts.CheckInterval)
 		if round < opts.MaxAttempts {
-			round := round
-			pollUntil(t, "overtime redistribution", func() bool {
-				return m.ctrs.Redistributions.Load() == int64(round)
-			})
+			waitTick(t, ticks)
+			if got := m.ctrs.Redistributions.Load(); got != int64(round) {
+				t.Fatalf("round %d: redistributions = %d, want %d", round, got, round)
+			}
 			if n := m.leases.len(); n != 0 {
 				t.Fatalf("round %d: %d leases survived the timeout", round, n)
 			}
@@ -276,14 +277,13 @@ func TestClusterOvertimeFakeClock(t *testing.T) {
 		}
 	}
 
-	pollUntil(t, "MaxAttempts abort", func() bool {
-		select {
-		case <-m.done:
-			return true
-		default:
-			return false
-		}
-	})
+	// The final expiry aborts the run from inside the tick, before the
+	// onTick hook fires — wait on the run's own done channel instead.
+	select {
+	case <-m.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for MaxAttempts abort")
+	}
 	<-loopDone
 	m.errMu.Lock()
 	err = m.err

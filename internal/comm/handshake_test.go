@@ -148,7 +148,13 @@ func TestHandshakeDigestMatchAndUnchecked(t *testing.T) {
 // must surface as a peer-down error within the read-idle bound — before
 // this, the master's pump would hang on the dead link forever.
 func TestReadIdleSurfacesWedgedPeer(t *testing.T) {
-	addr := "127.0.0.1:39223"
+	// Bind the listener first and hand it to the transport, so the dial
+	// below cannot race the accept loop coming up — no retry sleeps.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
 	downc := make(chan int, 1)
 	type res struct {
 		tr  *TCPTransport
@@ -156,7 +162,7 @@ func TestReadIdleSurfacesWedgedPeer(t *testing.T) {
 	}
 	masterc := make(chan res, 1)
 	go func() {
-		tr, err := ListenMasterOpts(addr, 1, 5*time.Second, TCPOptions{
+		tr, err := ListenMasterOn(ln, 1, 5*time.Second, TCPOptions{
 			ReadIdle: 300 * time.Millisecond,
 			OnPeerDown: func(rank int, err error) {
 				if err == nil {
@@ -169,16 +175,8 @@ func TestReadIdleSurfacesWedgedPeer(t *testing.T) {
 	}()
 
 	// The wedged fake peer: a raw conn that says hello, reads the
-	// welcome, then goes silent without closing. Dialing retries until
-	// the master goroutine is listening.
-	var c net.Conn
-	var err error
-	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(20 * time.Millisecond) {
-		c, err = net.DialTimeout("tcp", addr, time.Second)
-		if err == nil || time.Now().After(deadline) {
-			break
-		}
-	}
+	// welcome, then goes silent without closing.
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,12 +65,22 @@ func ListenMaster(addr string, slaves int, timeout time.Duration) (*TCPTransport
 // digest to enforce, keepalive/read-idle tuning and peer-down
 // notification.
 func ListenMasterOpts(addr string, slaves int, timeout time.Duration, opts TCPOptions) (*TCPTransport, error) {
-	if slaves < 1 {
-		return nil, fmt.Errorf("comm: need at least one slave, got %d", slaves)
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	return ListenMasterOn(ln, slaves, timeout, opts)
+}
+
+// ListenMasterOn is ListenMasterOpts over a listener the caller already
+// bound. It owns ln from here on — closed on every error path and on
+// transport Close. A pre-bound listener lets callers learn the actual
+// address (port 0) and dial it before the accept loop starts, without
+// retry loops.
+func ListenMasterOn(ln net.Listener, slaves int, timeout time.Duration, opts TCPOptions) (*TCPTransport, error) {
+	if slaves < 1 {
+		ln.Close()
+		return nil, fmt.Errorf("comm: need at least one slave, got %d", slaves)
 	}
 	t := &TCPTransport{
 		rank:  0,

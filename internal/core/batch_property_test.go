@@ -9,6 +9,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/testseed"
 )
 
 // Property: for EVERY registered DP kernel, batched-parallel execution is
@@ -23,7 +24,7 @@ func TestBatchMatchesUnbatchedAllKernels(t *testing.T) {
 	}
 	for appIdx, app := range cli.Apps {
 		app := app
-		rng := rand.New(rand.NewSource(int64(9000 + appIdx)))
+		rng := rand.New(rand.NewSource(testseed.Seed(t, int64(9000+appIdx))))
 		t.Run(app, func(t *testing.T) {
 			t.Parallel()
 			for round := 0; round < rounds; round++ {

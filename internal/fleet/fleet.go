@@ -194,6 +194,50 @@ type Fleet[T any] struct {
 
 	hungers atomic.Int64
 	stale   atomic.Int64 // results for unknown/finished jobs
+
+	// progressMu/progressC/progressGen let observers (tests) wait for
+	// scheduling progress without polling: noteProgress bumps the
+	// generation and broadcasts after dispatch grants, applied results,
+	// control ticks, and job retirement. Leaf lock — never held while
+	// taking mu, connMu, or attachMu.
+	progressMu  sync.Mutex
+	progressC   *sync.Cond
+	progressGen uint64
+}
+
+// noteProgress records one unit of scheduling progress for waitProgress
+// observers. Cheap enough to call on every dispatch/result/tick.
+func (f *Fleet[T]) noteProgress() {
+	f.progressMu.Lock()
+	f.progressGen++
+	f.progressC.Broadcast()
+	f.progressMu.Unlock()
+}
+
+// progressGeneration snapshots the progress counter; waitProgress blocks
+// until it moves past the snapshot.
+func (f *Fleet[T]) progressGeneration() uint64 {
+	f.progressMu.Lock()
+	defer f.progressMu.Unlock()
+	return f.progressGen
+}
+
+// waitProgress blocks until the progress generation exceeds gen or abort
+// is signalled (returns false). Evaluate the condition of interest
+// OUTSIDE this call, between generation snapshots, so no wakeup is lost:
+// snapshot, check, wait, re-check.
+func (f *Fleet[T]) waitProgress(gen uint64, abort <-chan struct{}) bool {
+	f.progressMu.Lock()
+	defer f.progressMu.Unlock()
+	for f.progressGen == gen {
+		select {
+		case <-abort:
+			return false
+		default:
+		}
+		f.progressC.Wait()
+	}
+	return true
 }
 
 // event is one unit of the fleet's serialized input: a message from a
@@ -259,6 +303,7 @@ func New[T any](opts Options) (*Fleet[T], error) {
 		done:  make(chan struct{}),
 	}
 	f.cond = sync.NewCond(&f.mu)
+	f.progressC = sync.NewCond(&f.progressMu)
 	f.wg.Add(3)
 	go func() { defer f.wg.Done(); f.acceptLoop() }()
 	go func() { defer f.wg.Done(); f.recvLoop() }()
@@ -365,6 +410,7 @@ func (f *Fleet[T]) Run(ctx context.Context, p core.Problem[T], req JobRequest) (
 		f.cond.Broadcast()
 		f.mu.Unlock()
 	}
+	f.noteProgress() // the job is admitted and observable
 
 	select {
 	case <-ctx.Done():
@@ -382,6 +428,7 @@ func (f *Fleet[T]) Run(ctx context.Context, p core.Problem[T], req JobRequest) (
 // drops its queued work, notifies attached workers to free the job's
 // kernel state, and keeps the job queryable in the done log.
 func (f *Fleet[T]) retire(jb *job[T]) {
+	defer f.noteProgress()
 	f.mu.Lock()
 	if _, ok := f.jobs[jb.id]; !ok {
 		f.mu.Unlock()
@@ -666,6 +713,7 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 	// requeued, or the batch dead). The defer runs after every return path
 	// below has either granted the lease or unwound it.
 	defer f.undraw(jb, len(ids))
+	defer f.noteProgress()
 	if jb.finished() {
 		return false
 	}
@@ -715,6 +763,10 @@ func (f *Fleet[T]) dispatch(mc *memberConn, jb *job[T], ids []int32) bool {
 	if len(held) > 0 {
 		f.requeue(jb, held...)
 	}
+	// Leases and dispatch counters are settled; publish before the send
+	// section, which can block under attachMu, so observers see the
+	// grants while the wire write is still in flight.
+	f.noteProgress()
 	if len(pend) == 0 {
 		// When the whole draw was backups this member holds the primary
 		// of, consume the idle token: drawing again right away could pop
@@ -987,6 +1039,7 @@ func (f *Fleet[T]) feedHungry(member int) {
 // unknown or finished jobs (a worker answering after the job retired)
 // are dropped.
 func (f *Fleet[T]) applyResult(member int, jobID, v, attempt int32, payload []byte) {
+	defer f.noteProgress()
 	f.mu.Lock()
 	jb := f.jobs[jobID]
 	f.mu.Unlock()
@@ -1209,6 +1262,7 @@ func (f *Fleet[T]) controlLoop() {
 // deadline, and speculation flagging. Requeues and failures stay inside
 // the job's lease/attempt namespace.
 func (f *Fleet[T]) tickJob(jb *job[T], now time.Time) {
+	defer f.noteProgress()
 	if jb.finished() {
 		return
 	}

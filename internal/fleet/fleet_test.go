@@ -75,16 +75,30 @@ func checkMatrix(t *testing.T, label string, got, want [][]int32) {
 	}
 }
 
-// pollUntil waits for an asynchronous effect with short real-time sleeps
-// (a FakeClock removes the need to sleep for the timeouts themselves).
-func pollUntil(t *testing.T, what string, cond func() bool) {
+// waitUntil blocks until cond holds, woken by the fleet's progress
+// notifier instead of polling: snapshot the generation, evaluate cond,
+// then wait for the generation to move before re-checking, so no
+// broadcast between check and wait is lost. The real-time timer only
+// bounds a wedged fleet.
+func waitUntil(t *testing.T, f *Fleet[int32], what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
+	timedOut := make(chan struct{})
+	timer := time.AfterFunc(10*time.Second, func() {
+		close(timedOut)
+		f.noteProgress()
+	})
+	defer timer.Stop()
+	for {
+		gen := f.progressGeneration()
+		if cond() {
+			return
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case <-timedOut:
+			t.Fatalf("timed out waiting for %s", what)
+		default:
+		}
+		f.waitProgress(gen, timedOut)
 	}
 }
 
@@ -211,7 +225,7 @@ func TestFleetConcurrentJobsWorkerKill(t *testing.T) {
 	}
 
 	// Sever the proxied worker once the fleet is demonstrably mid-run.
-	pollUntil(t, "mid-run progress", func() bool {
+	waitUntil(t, f, "mid-run progress", func() bool {
 		return f.Snapshot().Aggregate.Tasks >= 16
 	})
 	proxy.Kill()
@@ -366,12 +380,12 @@ func TestFleetPoisonedJobIsolationFakeClock(t *testing.T) {
 
 	for round := 1; round <= maxAttempts; round++ {
 		round := round
-		pollUntil(t, "poisoned dispatch", func() bool {
+		waitUntil(t, f, "poisoned dispatch", func() bool {
 			return stats("poisoned").Dispatches >= int64(round)
 		})
 		fake.Advance(f.opts.CheckInterval)
 		if round < maxAttempts {
-			pollUntil(t, "overtime redistribution", func() bool {
+			waitUntil(t, f, "overtime redistribution", func() bool {
 				return stats("poisoned").Redistributions >= int64(round)
 			})
 		}
@@ -559,7 +573,7 @@ func TestFleetDispatchRetireOrdering(t *testing.T) {
 	mc.attachMu.Lock()
 	dispatched := make(chan bool, 1)
 	go func() { dispatched <- f.dispatch(mc, jb, []int32{roots[1]}) }()
-	pollUntil(t, "second dispatch leasing", func() bool { return jb.leases.Len() == 2 })
+	waitUntil(t, f, "second dispatch leasing", func() bool { return jb.leases.Len() == 2 })
 	jb.finish(nil, f.clock.Now())
 	mc.attachMu.Unlock()
 	if <-dispatched {

@@ -260,7 +260,16 @@ func TestFleetRunCancelAndClose(t *testing.T) {
 
 	cctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		time.Sleep(20 * time.Millisecond)
+		// Cancel as soon as the job is admitted: Run's noteProgress fires
+		// right after the job lands in the table, so the generation wait
+		// replaces any fixed sleep.
+		for {
+			gen := f.progressGeneration()
+			if f.jobByID(1) != nil {
+				break
+			}
+			f.waitProgress(gen, nil)
+		}
 		cancel()
 	}()
 	if _, err := f.Run(cctx, prob, JobRequest{Name: "cancelled"}); !errors.Is(err, context.Canceled) {

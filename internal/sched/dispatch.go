@@ -43,6 +43,12 @@ type Dynamic struct {
 	cond   *sync.Cond
 	stack  []int32
 	closed bool
+	// onWait, when non-nil, runs (with mu held) each time a Next or
+	// NextBatch call is about to block. Close contends on mu, so anyone
+	// signalled from here observes the caller already parked when Close
+	// proceeds — the deterministic ordering hook the close-unblocks
+	// tests need instead of sleeping.
+	onWait func()
 }
 
 // NewDynamic creates a dynamic dispatcher.
@@ -66,6 +72,9 @@ func (d *Dynamic) Next(w int) (int32, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for len(d.stack) == 0 && !d.closed {
+		if d.onWait != nil {
+			d.onWait()
+		}
 		d.cond.Wait()
 	}
 	if len(d.stack) == 0 {
@@ -83,6 +92,9 @@ func (d *Dynamic) NextBatch(w, max int) ([]int32, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for len(d.stack) == 0 && !d.closed {
+		if d.onWait != nil {
+			d.onWait()
+		}
 		d.cond.Wait()
 	}
 	if len(d.stack) == 0 {

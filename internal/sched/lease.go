@@ -182,7 +182,10 @@ func (t *LeaseTable) Len() int {
 }
 
 // OlderThan returns every lease granted before cutoff — the speculation
-// candidates — ordered oldest first.
+// candidates — ordered oldest first, ties broken by grant sequence so
+// the order is a deterministic function of the table's history (leases
+// granted in the same fake-clock instant would otherwise surface in map
+// order, which the deterministic simulator cannot tolerate).
 func (t *LeaseTable) OlderThan(cutoff time.Time) []Lease {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -194,7 +197,12 @@ func (t *LeaseTable) OlderThan(cutoff time.Time) []Lease {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Granted.Before(out[j].Granted) })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Granted.Equal(out[j].Granted) {
+			return out[i].Granted.Before(out[j].Granted)
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 

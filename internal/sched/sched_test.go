@@ -318,6 +318,11 @@ func TestDynamicNeverIdlesWhileComputable(t *testing.T) {
 
 func TestDynamicCloseUnblocksWorkers(t *testing.T) {
 	d := NewDynamic()
+	// The onWait hook fires with d.mu held right before a caller parks;
+	// Close must take d.mu to set closed, so once both tokens arrive the
+	// workers are provably blocked in Wait when Close broadcasts.
+	blocked := make(chan struct{}, 2)
+	d.onWait = func() { blocked <- struct{}{} }
 	done := make(chan bool, 2)
 	for w := 0; w < 2; w++ {
 		go func(w int) {
@@ -325,7 +330,13 @@ func TestDynamicCloseUnblocksWorkers(t *testing.T) {
 			done <- ok
 		}(w)
 	}
-	time.Sleep(10 * time.Millisecond)
+	for k := 0; k < 2; k++ {
+		select {
+		case <-blocked:
+		case <-time.After(time.Second):
+			t.Fatal("worker never blocked in Next")
+		}
+	}
 	d.Close()
 	for k := 0; k < 2; k++ {
 		select {

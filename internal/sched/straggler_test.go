@@ -366,3 +366,66 @@ func TestRuntimeProfileThreshold(t *testing.T) {
 		t.Fatalf("floored threshold = %v, want 1s", th)
 	}
 }
+
+// Quantile edge cases: every q of an empty ring refuses, every q of a
+// single sample or of identical samples is that sample, out-of-range q
+// clamps instead of panicking, and a negative observation clamps to 0.
+func TestRuntimeProfileQuantileEdges(t *testing.T) {
+	empty := NewRuntimeProfile(4)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if d, ok := empty.Quantile(q); ok || d != 0 {
+			t.Fatalf("empty ring q=%v = (%v, %v), want (0, false)", q, d, ok)
+		}
+	}
+
+	single := NewRuntimeProfile(4)
+	single.Observe(7 * time.Millisecond)
+	if single.Samples() != 1 {
+		t.Fatalf("Samples after one Observe = %d, want 1", single.Samples())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if d, ok := single.Quantile(q); !ok || d != 7*time.Millisecond {
+			t.Fatalf("single sample q=%v = (%v, %v), want (7ms, true)", q, d, ok)
+		}
+	}
+
+	same := NewRuntimeProfile(8)
+	for i := 0; i < 20; i++ { // wraps the ring with one value
+		same.Observe(3 * time.Millisecond)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if d, ok := same.Quantile(q); !ok || d != 3*time.Millisecond {
+			t.Fatalf("identical samples q=%v = (%v, %v), want (3ms, true)", q, d, ok)
+		}
+	}
+
+	neg := NewRuntimeProfile(2)
+	neg.Observe(-time.Second)
+	if d, ok := neg.Quantile(1); !ok || d != 0 {
+		t.Fatalf("negative observation q=1 = (%v, %v), want (0, true)", d, ok)
+	}
+}
+
+// Threshold edge cases around the minSamples gate and the floor: the
+// gate is >=, a zero floor passes the raw multiplied quantile through,
+// and identical samples give an exactly scaled threshold at any q.
+func TestRuntimeProfileThresholdEdges(t *testing.T) {
+	p := NewRuntimeProfile(16)
+	for i := 0; i < 3; i++ {
+		p.Observe(4 * time.Millisecond)
+	}
+	if _, ok := p.Threshold(0.5, 2, 0, 4); ok {
+		t.Fatal("threshold below minSamples must refuse")
+	}
+	p.Observe(4 * time.Millisecond)
+	th, ok := p.Threshold(0.5, 2, 0, 4) // exactly at the gate
+	if !ok || th != 8*time.Millisecond {
+		t.Fatalf("threshold at minSamples = (%v, %v), want (8ms, true)", th, ok)
+	}
+	if th, _ := p.Threshold(0, 1, 0, 1); th != 4*time.Millisecond {
+		t.Fatalf("q=0 multiplier=1 threshold = %v, want the sample itself", th)
+	}
+	if _, ok := NewRuntimeProfile(4).Threshold(0.95, 2, time.Hour, 0); ok {
+		t.Fatal("empty profile with minSamples=0 must still refuse (no quantile)")
+	}
+}

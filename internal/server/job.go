@@ -549,9 +549,16 @@ func (m *Manager) run(j *Job) {
 		res, err = m.runFleet(ctx, j)
 	} else {
 		cfg := m.cfg.Run
+		// Chain rather than replace a Progress callback supplied with the
+		// deployment config: the manager needs it for job status, but the
+		// caller may be observing run liveness through it too.
+		chained := cfg.Progress
 		cfg.Progress = func(completed, total int) {
 			j.completed.Store(int64(completed))
 			j.total.Store(int64(total))
+			if chained != nil {
+				chained(completed, total)
+			}
 		}
 		res, err = core.RunContext(ctx, j.problem, cfg)
 	}

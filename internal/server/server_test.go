@@ -159,7 +159,18 @@ func TestConcurrentJobs(t *testing.T) {
 // TestCancelMidRun cancels a running job via DELETE and expects it to
 // reach the cancelled state well before it could have finished.
 func TestCancelMidRun(t *testing.T) {
-	_, c := startService(t, server.ManagerConfig{Run: slowRun(), MaxConcurrent: 1, QueueDepth: 2})
+	// The chained Progress callback fires once the master is actually
+	// executing — strictly after the manager flipped the job to running —
+	// so waiting on it replaces polling Status.
+	started := make(chan struct{}, 1)
+	cfg := slowRun()
+	cfg.Progress = func(completed, total int) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	}
+	_, c := startService(t, server.ManagerConfig{Run: cfg, MaxConcurrent: 1, QueueDepth: 2})
 	ctx := context.Background()
 
 	// 64x64 cells at 1ms emulated work each: several seconds of work.
@@ -169,19 +180,13 @@ func TestCancelMidRun(t *testing.T) {
 	}
 
 	// Wait for the job to actually start running.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		cur, err := c.Status(ctx, st.ID)
-		if err != nil {
-			t.Fatalf("status: %v", err)
-		}
-		if cur.State == server.StateRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job never started running (state %s)", cur.State)
-		}
-		time.Sleep(5 * time.Millisecond)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started running")
+	}
+	if cur, err := c.Status(ctx, st.ID); err != nil || cur.State != server.StateRunning {
+		t.Fatalf("status after start = (%+v, %v), want running", cur, err)
 	}
 
 	if _, err := c.Cancel(ctx, st.ID); err != nil {
@@ -209,8 +214,16 @@ func TestCancelMidRun(t *testing.T) {
 // expects 429 + Retry-After on the overflow submission, and then sees the
 // backlog drain.
 func TestAdmissionControl(t *testing.T) {
+	started := make(chan struct{}, 1)
+	cfg := slowRun()
+	cfg.Progress = func(completed, total int) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	}
 	_, c := startService(t, server.ManagerConfig{
-		Run:           slowRun(),
+		Run:           cfg,
 		MaxConcurrent: 1,
 		QueueDepth:    1,
 		RetryAfter:    2 * time.Second,
@@ -222,21 +235,12 @@ func TestAdmissionControl(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit 1: %v", err)
 	}
-	// ...wait until it leaves the queue so the next submission has the
-	// queue to itself.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		cur, err := c.Status(ctx, first.ID)
-		if err != nil {
-			t.Fatalf("status: %v", err)
-		}
-		if cur.State == server.StateRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("first job never started")
-		}
-		time.Sleep(5 * time.Millisecond)
+	// ...wait until it is demonstrably executing (first Progress call),
+	// so the next submission has the queue to itself.
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first job never started")
 	}
 	// Second fills the queue.
 	second, err := c.Submit(ctx, server.JobSpec{Kernel: "editdist", N: 32, Seed: 2})

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+)
+
+// BuildProblem constructs one of the named DP applications at size n
+// with deterministic seeded inputs, returning both the EasyHPS problem
+// and the plain sequential reference matrix. Scenario files name their
+// jobs' kernels through this table; the reference is what the
+// bit-identical-results half of the determinism contract is checked
+// against.
+func BuildProblem(kernel string, n int, seed int64) (core.Problem[int32], [][]int32, error) {
+	if n < 1 {
+		return core.Problem[int32]{}, nil, fmt.Errorf("sim: kernel %q needs a positive size, got %d", kernel, n)
+	}
+	switch kernel {
+	case "editdist":
+		e := dp.NewEditDistance(dp.RandomDNA(n, seed), dp.RandomDNA(n, seed+1))
+		return e.Problem(), e.Sequential(), nil
+	case "lcs":
+		l := dp.NewLCS(dp.RandomDNA(n, seed), dp.RandomDNA(n, seed+1))
+		return l.Problem(), l.Sequential(), nil
+	case "swgg":
+		s := dp.NewSWGG(dp.RandomDNA(n, seed), dp.RandomDNA(n, seed+1))
+		return s.Problem(), s.Sequential(), nil
+	case "nussinov":
+		nu := dp.NewNussinov(dp.RandomRNA(n, seed))
+		return nu.Problem(), nu.Sequential(), nil
+	}
+	return core.Problem[int32]{}, nil, fmt.Errorf("sim: unknown kernel %q (want editdist, lcs, swgg or nussinov)", kernel)
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func mustProblem(t *testing.T, kernel string, n int, seed int64) JobSpec {
+	t.Helper()
+	p, _, err := BuildProblem(kernel, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobSpec{Name: kernel, Problem: p}
+}
+
+func TestBuildProblemErrors(t *testing.T) {
+	if _, _, err := BuildProblem("quicksort", 8, 1); err == nil {
+		t.Fatal("want error for unknown kernel")
+	}
+	if _, _, err := BuildProblem("editdist", 0, 1); err == nil {
+		t.Fatal("want error for zero size")
+	}
+}
+
+// TestDeterministicTrace asserts the core contract at unit scale: the
+// same script and seed give byte-identical traces; a different seed
+// gives a different schedule but bit-identical DP results.
+func TestDeterministicTrace(t *testing.T) {
+	run := func(seed int64) (string, [][]int32) {
+		c := New(Options{Workers: 16, Seed: seed, Cost: time.Millisecond, Jitter: 0.4,
+			CheckInterval: 20 * time.Millisecond, HeartbeatInterval: 20 * time.Millisecond})
+		spec := mustProblem(t, "editdist", 64, 7)
+		j, err := c.Submit(0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.KillAt(30*time.Millisecond, 3)
+		c.JoinAt(40*time.Millisecond, 4)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Err() != nil {
+			t.Fatal(j.Err())
+		}
+		return c.Trace(), j.Result()
+	}
+	tr1, res1 := run(1)
+	tr2, res2 := run(1)
+	if tr1 != tr2 {
+		t.Fatal("same seed produced different traces")
+	}
+	tr3, res3 := run(2)
+	if tr3 == tr1 {
+		t.Fatal("different seed produced an identical schedule")
+	}
+	if !equalMatrix(res1, res2) || !equalMatrix(res1, res3) {
+		t.Fatal("DP results are seed-dependent")
+	}
+	_, ref, err := BuildProblem("editdist", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMatrix(res1, ref) {
+		t.Fatal("simulated result differs from the sequential reference")
+	}
+}
+
+// TestPartitionZombie partitions a slow worker past the sweep window:
+// its leases are revoked and redistributed, and when the healed zombie
+// finally delivers, attempt arbitration refuses the result.
+func TestPartitionZombie(t *testing.T) {
+	c := New(Options{Workers: 2, Seed: 3, Cost: 10 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond, HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMiss: 3, TaskTimeout: time.Minute})
+	j, err := c.Submit(0, mustProblem(t, "editdist", 64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SlowAt(0, 1, 20)                                          // w1: 200ms per task
+	c.PartitionAt(15*time.Millisecond, 1, 100*time.Millisecond) // heals after the sweep declared it dead
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	st := j.Stats()
+	if st.StaleResults < 1 {
+		t.Fatalf("want the zombie's late result refused, got StaleResults=%d", st.StaleResults)
+	}
+	if st.Leaked != 0 {
+		t.Fatalf("leaked %d scheduling entries", st.Leaked)
+	}
+	_, ref, _ := BuildProblem("editdist", 64, 5)
+	if !equalMatrix(j.Result(), ref) {
+		t.Fatal("result differs from the sequential reference")
+	}
+	deaths := 0
+	for _, e := range c.MemberEvents() {
+		if e.Kind == trace.EvMember && e.Label == "dead" {
+			deaths++
+		}
+	}
+	if deaths != 1 {
+		t.Fatalf("want exactly one sweep death, got %d", deaths)
+	}
+}
+
+// TestMaxAttemptsPoisonsJob drives one vertex through repeated overtime
+// expiries on a crawling single worker until the job is failed rather
+// than retried forever.
+func TestMaxAttemptsPoisonsJob(t *testing.T) {
+	c := New(Options{Workers: 1, Seed: 1, Cost: 10 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond, TaskTimeout: 50 * time.Millisecond,
+		MaxAttempts: 2, Horizon: 5 * time.Minute})
+	c.SlowAt(0, 0, 1000) // 10s per task against a 50ms timeout
+	j, err := c.Submit(0, mustProblem(t, "editdist", 16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Err() == nil || !strings.Contains(j.Err().Error(), "MaxAttempts") {
+		t.Fatalf("want MaxAttempts failure, got %v", j.Err())
+	}
+	if got := j.Stats().Redistributions; got < 1 {
+		t.Fatalf("want at least one redistribution before giving up, got %d", got)
+	}
+}
+
+// TestStealRescuesJoiner joins a fresh worker into a cluster whose only
+// member hoards a deep batch backlog; with stealing on, the joiner must
+// take the newer half instead of idling.
+func TestStealRescuesJoiner(t *testing.T) {
+	c := New(Options{Workers: 1, Seed: 9, Batch: 8, Steal: true,
+		Cost: 10 * time.Millisecond, CheckInterval: 20 * time.Millisecond,
+		TaskTimeout: time.Minute, Horizon: 10 * time.Minute})
+	c.SlowAt(0, 0, 10) // the incumbent crawls at 100ms per task
+	j, err := c.Submit(0, mustProblem(t, "editdist", 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.JoinAt(400*time.Millisecond, 1)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	if got := j.Stats().Steals; got < 1 {
+		t.Fatalf("want the joiner to steal backlog, got Steals=%d", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := New(Options{Workers: 1})
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "no jobs") {
+		t.Fatalf("want no-jobs error, got %v", err)
+	}
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want run-twice error, got %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := New(Options{Workers: 1})
+	if _, err := c.Submit(0, JobSpec{Name: "empty"}); err == nil {
+		t.Fatal("want error for a spec without a kernel")
+	}
+}
+
+// TestHorizonFailsUnfinishedJobs caps virtual time below what the job
+// needs; Run must fail it and report the horizon instead of spinning.
+func TestHorizonFailsUnfinishedJobs(t *testing.T) {
+	c := New(Options{Workers: 1, Seed: 1, Cost: 10 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond, Horizon: 50 * time.Millisecond})
+	c.SlowAt(0, 0, 1000)
+	j, err := c.Submit(0, mustProblem(t, "editdist", 16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("want horizon error, got %v", err)
+	}
+	if j.Err() == nil {
+		t.Fatal("want the unfinished job failed")
+	}
+	// A job scripted past the horizon must be failed as never activated.
+	c2 := New(Options{Workers: 1, Horizon: 50 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond})
+	j2, err := c2.Submit(time.Hour, mustProblem(t, "editdist", 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(); err == nil {
+		t.Fatal("want horizon error")
+	}
+	if j2.Err() == nil || !strings.Contains(j2.Err().Error(), "never activated") {
+		t.Fatalf("want never-activated failure, got %v", j2.Err())
+	}
+}
+
+// TestAllWorkersDeadStarves kills the whole fleet mid-run: the event
+// queue must drain into a starvation error, not hang.
+func TestAllWorkersDeadStarves(t *testing.T) {
+	c := New(Options{Workers: 2, Seed: 1, Cost: 10 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond, Horizon: 30 * time.Second})
+	j, err := c.Submit(0, mustProblem(t, "editdist", 32, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillAt(25*time.Millisecond, 0)
+	c.KillAt(25*time.Millisecond, 1)
+	err = c.Run()
+	if err == nil {
+		t.Fatal("want an error with the whole fleet dead")
+	}
+	if j.Err() == nil {
+		t.Fatal("want the job failed")
+	}
+}
+
+// TestBurstSubmitSameInstant submits three jobs at the same virtual
+// instant (a burst) and checks they all finish with correct results and
+// a deterministic trace.
+func TestBurstSubmitSameInstant(t *testing.T) {
+	run := func() (string, []*Job) {
+		c := New(Options{Workers: 8, Seed: 17, Cost: 2 * time.Millisecond, Jitter: 0.2,
+			CheckInterval: 20 * time.Millisecond, Batch: 2})
+		var jobs []*Job
+		for i, k := range []string{"editdist", "lcs", "swgg"} {
+			spec := mustProblem(t, k, 32, int64(i+1))
+			spec.Name = k
+			j, err := c.Submit(5*time.Millisecond, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Trace(), jobs
+	}
+	tr1, jobs1 := run()
+	tr2, _ := run()
+	if tr1 != tr2 {
+		t.Fatal("burst submission broke trace determinism")
+	}
+	for i, k := range []string{"editdist", "lcs", "swgg"} {
+		if jobs1[i].Err() != nil {
+			t.Fatalf("%s: %v", k, jobs1[i].Err())
+		}
+		_, ref, _ := BuildProblem(k, 32, int64(i+1))
+		if !equalMatrix(jobs1[i].Result(), ref) {
+			t.Fatalf("%s result differs from the sequential reference", k)
+		}
+		if jobs1[i].Makespan() <= 0 || jobs1[i].Served() <= 0 {
+			t.Fatalf("%s: implausible makespan/served: %v/%v", k, jobs1[i].Makespan(), jobs1[i].Served())
+		}
+		if jobs1[i].Summary().Tasks == 0 || len(jobs1[i].Events()) == 0 {
+			t.Fatalf("%s: empty trace", k)
+		}
+	}
+}
+
+// TestTraceHelpers covers the format and diff helpers on a live trace.
+func TestTraceHelpers(t *testing.T) {
+	c := New(Options{Workers: 2, Seed: 1, Cost: time.Millisecond, CheckInterval: 20 * time.Millisecond})
+	if _, err := c.Submit(0, mustProblem(t, "editdist", 16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry().Live() != 2 {
+		t.Fatalf("want 2 live members, got %d", c.Registry().Live())
+	}
+	if c.Elapsed() <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	tr := c.Trace()
+	if !strings.HasPrefix(tr, "# cluster\n") || !strings.Contains(tr, "# job ") {
+		t.Fatalf("unexpected trace framing:\n%.200s", tr)
+	}
+	if got := firstTraceDiff("a\nb", "a\nc"); !strings.Contains(got, "line 2") {
+		t.Fatalf("want a line diff, got %q", got)
+	}
+	if got := firstTraceDiff("a\nb", "a\nb\nc"); !strings.Contains(got, "prefix") {
+		t.Fatalf("want prefix diff, got %q", got)
+	}
+}

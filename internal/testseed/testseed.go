@@ -1,0 +1,46 @@
+// Package testseed threads one reproducible seed through the repo's
+// randomized suites (the cluster fault soak, the core property sweeps).
+// Every such test derives its RNG from Seed, so a red run always prints
+// the seed that broke it and the exact failure replays with
+//
+//	go test -run TheTest -seed=N ./the/package/
+//
+// or EASYHPS_TEST_SEED=N for harnesses that cannot pass test flags. The
+// package is imported only from _test.go files: the -seed flag exists
+// solely in test binaries.
+package testseed
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"testing"
+)
+
+var flagSeed = flag.Int64("seed", 0,
+	"override the seed of randomized suites (0 keeps each test's default; EASYHPS_TEST_SEED is honored too, the flag wins)")
+
+// Seed resolves the seed a randomized test should use: the -seed flag
+// when set, else EASYHPS_TEST_SEED, else def. It registers a cleanup
+// that logs the seed if the test fails, so the failure is reproducible
+// from the output alone.
+func Seed(tb testing.TB, def int64) int64 {
+	tb.Helper()
+	seed := def
+	if env := os.Getenv("EASYHPS_TEST_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			tb.Fatalf("testseed: EASYHPS_TEST_SEED=%q: %v", env, err)
+		}
+		seed = n
+	}
+	if *flagSeed != 0 {
+		seed = *flagSeed
+	}
+	tb.Cleanup(func() {
+		if tb.Failed() {
+			tb.Logf("randomized suite failed at seed %d — reproduce with -seed=%d (or EASYHPS_TEST_SEED=%d)", seed, seed, seed)
+		}
+	})
+	return seed
+}

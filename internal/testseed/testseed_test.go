@@ -1,0 +1,55 @@
+package testseed
+
+import "testing"
+
+func TestSeedDefault(t *testing.T) {
+	if *flagSeed != 0 {
+		t.Skip("suite running under an explicit -seed override")
+	}
+	if got := Seed(t, 42); got != 42 {
+		t.Fatalf("Seed default = %d, want 42", got)
+	}
+}
+
+func TestSeedEnvOverride(t *testing.T) {
+	if *flagSeed != 0 {
+		t.Skip("suite running under an explicit -seed override")
+	}
+	t.Setenv("EASYHPS_TEST_SEED", "777")
+	if got := Seed(t, 42); got != 777 {
+		t.Fatalf("Seed with env = %d, want 777", got)
+	}
+}
+
+func TestSeedFlagBeatsEnv(t *testing.T) {
+	old := *flagSeed
+	*flagSeed = 9
+	defer func() { *flagSeed = old }()
+	t.Setenv("EASYHPS_TEST_SEED", "777")
+	if got := Seed(t, 42); got != 9 {
+		t.Fatalf("Seed with flag and env = %d, want the flag's 9", got)
+	}
+}
+
+func TestSeedBadEnvFails(t *testing.T) {
+	t.Setenv("EASYHPS_TEST_SEED", "not-a-number")
+	stub := &recordingTB{TB: t}
+	func() {
+		defer func() { recover() }()
+		Seed(stub, 1)
+	}()
+	if !stub.fatal {
+		t.Fatal("a malformed EASYHPS_TEST_SEED must fail the test")
+	}
+}
+
+// recordingTB captures Fatalf instead of aborting the goroutine.
+type recordingTB struct {
+	testing.TB
+	fatal bool
+}
+
+func (r *recordingTB) Fatalf(string, ...any) {
+	r.fatal = true
+	panic("fatal")
+}

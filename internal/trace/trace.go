@@ -5,6 +5,9 @@
 package trace
 
 import (
+	"encoding/json"
+	"fmt"
+	"strings"
 	"sync"
 	"time"
 )
@@ -103,17 +106,78 @@ func ExportJSON(events []Event) []JSONEvent {
 	return out
 }
 
+// Format renders events one per line in a canonical, byte-stable form:
+// the JSON export shape in struct field order, zero fields omitted. Two
+// recordings are the same schedule iff their Format outputs are equal
+// byte for byte — the comparison the deterministic simulator's
+// same-seed contract is asserted through.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		enc, err := json.Marshal(e.JSON())
+		if err != nil {
+			// JSONEvent holds only scalars and strings; Marshal cannot
+			// fail. Keep the line count stable regardless.
+			enc = []byte(`{"kind":"unencodable"}`)
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diff compares two recordings in Format form and returns a description
+// of the first divergence ("" when identical): the 1-based line number
+// and both renderings at that line, with "<end>" standing in for the
+// shorter trace.
+func Diff(a, b []Event) string {
+	la := strings.Split(strings.TrimSuffix(Format(a), "\n"), "\n")
+	lb := strings.Split(strings.TrimSuffix(Format(b), "\n"), "\n")
+	if len(a) == 0 {
+		la = nil
+	}
+	if len(b) == 0 {
+		lb = nil
+	}
+	n := len(la)
+	if len(lb) > n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		va, vb := "<end>", "<end>"
+		if i < len(la) {
+			va = la[i]
+		}
+		if i < len(lb) {
+			vb = lb[i]
+		}
+		if va != vb {
+			return fmt.Sprintf("traces diverge at event %d:\n  a: %s\n  b: %s", i+1, va, vb)
+		}
+	}
+	return ""
+}
+
 // Recorder collects events. A nil *Recorder is valid and records nothing,
 // so call sites do not need to guard tracing.
 type Recorder struct {
 	mu     sync.Mutex
 	start  time.Time
+	now    func() time.Time
 	events []Event
 }
 
-// New creates an empty recorder.
+// New creates an empty recorder stamping events with wall-clock time.
 func New() *Recorder {
-	return &Recorder{start: time.Now()}
+	return NewWithNow(time.Now)
+}
+
+// NewWithNow creates a recorder that stamps events with the given time
+// source instead of the wall clock. The deterministic simulator passes a
+// virtual clock here so the same scenario yields byte-identical traces;
+// production recorders keep using New.
+func NewWithNow(now func() time.Time) *Recorder {
+	return &Recorder{start: now(), now: now}
 }
 
 func (r *Recorder) add(e Event) {
@@ -121,7 +185,7 @@ func (r *Recorder) add(e Event) {
 		return
 	}
 	r.mu.Lock()
-	e.T = time.Since(r.start)
+	e.T = r.now().Sub(r.start)
 	r.events = append(r.events, e)
 	r.mu.Unlock()
 }

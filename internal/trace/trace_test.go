@@ -7,6 +7,15 @@ import (
 	"time"
 )
 
+// tick is a manually-advanced time source: every recorder in this file
+// runs on one, so no test ever sleeps to separate event timestamps.
+type tick struct{ now time.Time }
+
+func newTick() *tick                    { return &tick{now: time.Unix(0, 0)} }
+func (c *tick) Now() time.Time          { return c.now }
+func (c *tick) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func (c *tick) Recorder() *Recorder     { return NewWithNow(c.Now) }
+
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	r.TaskStart(0, 1)
@@ -18,16 +27,17 @@ func TestNilRecorderIsSafe(t *testing.T) {
 }
 
 func TestRecorderOrderAndCopy(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	r.TaskStart(0, 1)
-	time.Sleep(time.Millisecond)
+	c.Advance(time.Millisecond)
 	r.TaskEnd(0, 1)
 	ev := r.Events()
 	if len(ev) != 2 || ev[0].Kind != EvStart || ev[1].Kind != EvEnd {
 		t.Fatalf("events = %+v", ev)
 	}
-	if ev[1].T < ev[0].T {
-		t.Fatal("events out of order")
+	if ev[1].T != ev[0].T+time.Millisecond {
+		t.Fatalf("timestamps = %v, %v; want exactly 1ms apart", ev[0].T, ev[1].T)
 	}
 	ev[0].Worker = 99
 	if r.Events()[0].Worker == 99 {
@@ -36,10 +46,11 @@ func TestRecorderOrderAndCopy(t *testing.T) {
 }
 
 func TestSummarizeBusyAndTasks(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	r.TaskStart(0, 1)
 	r.TaskStart(1, 2)
-	time.Sleep(5 * time.Millisecond)
+	c.Advance(5 * time.Millisecond)
 	r.TaskEnd(0, 1)
 	r.TaskEnd(1, 2)
 	s := r.Summarize()
@@ -47,8 +58,8 @@ func TestSummarizeBusyAndTasks(t *testing.T) {
 		t.Fatalf("Workers=%d Tasks=%d", s.Workers, s.Tasks)
 	}
 	for w := 0; w < 2; w++ {
-		if s.Busy[w] < 3*time.Millisecond {
-			t.Errorf("Busy[%d] = %v, want >= ~5ms", w, s.Busy[w])
+		if s.Busy[w] != 5*time.Millisecond {
+			t.Errorf("Busy[%d] = %v, want exactly 5ms", w, s.Busy[w])
 		}
 	}
 	if u := s.Utilization(); u <= 0 || u > 1.01 {
@@ -57,32 +68,34 @@ func TestSummarizeBusyAndTasks(t *testing.T) {
 }
 
 func TestSummarizeIdleWhileReady(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	// Worker 0 does a task; worker 1 known but idle while ready > 0.
 	r.TaskStart(1, 9)
 	r.TaskEnd(1, 9) // worker 1 now known and idle
 	r.Ready(2)
 	r.TaskStart(0, 1)
-	time.Sleep(10 * time.Millisecond)
+	c.Advance(10 * time.Millisecond)
 	r.TaskEnd(0, 1)
 	r.Ready(0)
 	s := r.Summarize()
-	if s.IdleWhileReady < 5*time.Millisecond {
-		t.Fatalf("IdleWhileReady = %v, want >= ~10ms", s.IdleWhileReady)
+	if s.IdleWhileReady != 10*time.Millisecond {
+		t.Fatalf("IdleWhileReady = %v, want exactly 10ms", s.IdleWhileReady)
 	}
 }
 
 func TestSummarizeNoIdleWhenReadyZero(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	r.TaskStart(0, 1)
 	r.TaskEnd(0, 1)
 	r.Ready(0)
-	time.Sleep(5 * time.Millisecond)
+	c.Advance(5 * time.Millisecond)
 	r.TaskStart(0, 2)
 	r.TaskEnd(0, 2)
 	s := r.Summarize()
-	if s.IdleWhileReady > time.Millisecond {
-		t.Fatalf("IdleWhileReady = %v, want ~0", s.IdleWhileReady)
+	if s.IdleWhileReady != 0 {
+		t.Fatalf("IdleWhileReady = %v, want 0", s.IdleWhileReady)
 	}
 }
 
@@ -93,12 +106,13 @@ func TestUtilizationEmpty(t *testing.T) {
 }
 
 func TestGanttRendering(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	r.TaskStart(0, 1)
 	r.TaskStart(1, 2)
-	time.Sleep(4 * time.Millisecond)
+	c.Advance(4 * time.Millisecond)
 	r.TaskEnd(1, 2)
-	time.Sleep(4 * time.Millisecond)
+	c.Advance(4 * time.Millisecond)
 	r.TaskEnd(0, 1)
 	var buf strings.Builder
 	r.Gantt(&buf, 40)
@@ -125,9 +139,10 @@ func TestGanttEmpty(t *testing.T) {
 }
 
 func TestGanttOpenIntervalRunsToEdge(t *testing.T) {
-	r := New()
+	c := newTick()
+	r := c.Recorder()
 	r.TaskStart(0, 1)
-	time.Sleep(2 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
 	r.Ready(1) // a later event sets the makespan; task 1 never ends
 	var buf strings.Builder
 	r.Gantt(&buf, 20)
@@ -164,5 +179,59 @@ func TestEventJSONExport(t *testing.T) {
 	}
 	if got := EventKind(0).String(); got != "unknown" {
 		t.Fatalf("EventKind(0) = %q", got)
+	}
+}
+
+func TestFormatByteStable(t *testing.T) {
+	record := func() []Event {
+		c := newTick()
+		r := c.Recorder()
+		r.Member(1, "active")
+		r.Ready(2)
+		c.Advance(3 * time.Millisecond)
+		r.Dispatch(1, 2, 64)
+		r.TaskStart(1, 0)
+		c.Advance(time.Millisecond)
+		r.TaskEnd(1, 0)
+		return r.Events()
+	}
+	a, b := record(), record()
+	fa, fb := Format(a), Format(b)
+	if fa != fb {
+		t.Fatalf("identical recordings format differently:\n%s\nvs\n%s", fa, fb)
+	}
+	if d := Diff(a, b); d != "" {
+		t.Fatalf("Diff of identical traces = %q", d)
+	}
+	lines := strings.Split(strings.TrimSuffix(fa, "\n"), "\n")
+	if len(lines) != len(a) {
+		t.Fatalf("Format produced %d lines for %d events", len(lines), len(a))
+	}
+	if !strings.Contains(lines[2], `"t_us":3000`) || !strings.Contains(lines[2], `"kind":"dispatch"`) {
+		t.Fatalf("dispatch line = %s", lines[2])
+	}
+}
+
+func TestDiffReportsFirstDivergence(t *testing.T) {
+	c := newTick()
+	r := c.Recorder()
+	r.TaskStart(1, 0)
+	r.TaskEnd(1, 0)
+	a := r.Events()
+
+	b := append([]Event(nil), a...)
+	b[1].Worker = 2
+	d := Diff(a, b)
+	if !strings.Contains(d, "event 2") || !strings.Contains(d, `"worker":2`) {
+		t.Fatalf("Diff = %q", d)
+	}
+
+	// Length mismatch: the shorter side reads <end>.
+	d = Diff(a, a[:1])
+	if !strings.Contains(d, "event 2") || !strings.Contains(d, "<end>") {
+		t.Fatalf("Diff on truncation = %q", d)
+	}
+	if Diff(nil, nil) != "" {
+		t.Fatal("Diff(nil, nil) != \"\"")
 	}
 }

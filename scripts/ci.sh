@@ -7,15 +7,19 @@
 # Flags:
 #   -soak   additionally run the batched-dispatch fault soak (build tag
 #           "soak": 200 randomized kill/partition/leave runs, ~1 min).
+#   -sim    additionally replay the scenario regression suite at extra
+#           fixed seeds (the default seeds already run under go test).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 soak=0
+sim=0
 for arg in "$@"; do
     case "$arg" in
     -soak) soak=1 ;;
+    -sim) sim=1 ;;
     *)
-        echo "usage: scripts/ci.sh [-soak]" >&2
+        echo "usage: scripts/ci.sh [-soak] [-sim]" >&2
         exit 2
         ;;
     esac
@@ -25,6 +29,20 @@ unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
+    exit 1
+fi
+
+# Scheduling tests are event-driven: FakeClock advances plus notifier
+# hooks (onWait/onTick/OnDeath/noteProgress), never wall-clock polling.
+# A time.Sleep in these test files reintroduces the flaky, slow waits
+# this repo spent several PRs removing — and the sim package promises
+# virtual-time determinism outright. Fail fast on any new one.
+sleeps=$(grep -rn 'time\.Sleep' \
+    internal/sched internal/cluster internal/fleet internal/sim \
+    --include='*_test.go' 2>/dev/null || true)
+if [ -n "$sleeps" ]; then
+    echo "time.Sleep in scheduling test files (use FakeClock advances and event hooks instead):" >&2
+    echo "$sleeps" >&2
     exit 1
 fi
 
@@ -76,6 +94,7 @@ check_cover internal/core 86
 check_cover internal/cluster 75
 check_cover internal/fleet 80
 check_cover internal/cas 80
+check_cover internal/sim 80
 # The analyzer itself: the fixture suites for every rule keep the
 # short-mode number here; the repo-wide gates only run un-short.
 check_cover internal/lint 76
@@ -86,4 +105,13 @@ go test -run '^$' -fuzz '^FuzzWireCodec$' -fuzztime 10s ./internal/comm/
 
 if [ "$soak" = 1 ]; then
     go test -race -count=1 -tags soak -run TestSoakBatchedFaults -timeout 600s ./internal/cluster/
+fi
+
+if [ "$sim" = 1 ]; then
+    # Replay every scenario at extra fixed seeds: determinism-per-seed
+    # and bit-identical DP results must hold at any seed, not just the
+    # tuned one. The timeout is the stage's wall-time budget — virtual
+    # time makes even the 1000-worker scenarios run in seconds.
+    EASYHPS_SIM_SEEDS="1009,2003" \
+        go test -race -count=1 -run TestScenariosReseeded -timeout 120s ./internal/sim/
 fi
