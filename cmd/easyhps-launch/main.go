@@ -54,6 +54,7 @@ func main() {
 		ckpt       = flag.String("checkpoint", "", "elastic: checkpoint file (resumes from it when present)")
 		speculate  = flag.Bool("speculate", false, "elastic: dispatch speculative backups for straggling vertices (first result wins)")
 		steal      = flag.Bool("steal", false, "elastic: steal queued backlog for workers that announce hunger (pair with worker -steal)")
+		auto       = flag.Bool("auto", false, "elastic: self-tune — speculation and stealing arm automatically and the batch/speculation knobs adjust online (pair with worker -steal)")
 
 		cache         = flag.Bool("cache", false, "elastic: probe and fill the content-addressed result cache (keys scoped by the problem-spec digest)")
 		cacheDir      = flag.String("cache-dir", "", "cache: persist entries to this directory, so a rerun of the same problem completes from cache")
@@ -91,6 +92,7 @@ func main() {
 			Batch:             *batch,
 			Speculate:         *speculate,
 			Steal:             *steal,
+			Auto:              *auto,
 			Cache:             store,
 			RunTimeout:        15 * time.Minute,
 		})

@@ -61,6 +61,7 @@ func main() {
 		fleetBatch = flag.Int("fleet-batch", 1, "fleet: vertices per dispatch message")
 		speculate  = flag.Bool("speculate", false, "fleet: speculatively re-execute straggling vertices")
 		steal      = flag.Bool("steal", false, "fleet: feed hungry workers from loaded members' backlogs")
+		auto       = flag.Bool("auto", false, "self-tune: speculation and stealing arm automatically, partitions come from each kernel's cost model, and batch/speculation thresholds adjust online (both in-process runs and the fleet); exports easyhps_tune_* gauges")
 
 		cache         = flag.Bool("cache", false, "enable the content-addressed result cache (whole-job memoization, per-block reuse in fleet mode, content-keyed shipping suppression)")
 		cacheDir      = flag.String("cache-dir", "", "cache: persist entries to this directory (empty = memory only)")
@@ -71,6 +72,7 @@ func main() {
 	run := core.Config{
 		Slaves:     *slaves,
 		Threads:    *threads,
+		Auto:       *auto,
 		RunTimeout: 15 * time.Minute,
 	}
 	if *proc > 0 {
@@ -104,6 +106,7 @@ func main() {
 			Batch:     *fleetBatch,
 			Speculate: *speculate,
 			Steal:     *steal,
+			Auto:      *auto,
 			Cache:     store,
 		})
 		if err != nil {

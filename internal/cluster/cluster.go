@@ -127,6 +127,13 @@ type Options struct {
 	// (its pool drained for a while) is fed queued-but-undispatched
 	// batch entries revoked from the most loaded member's backlog.
 	Steal bool
+	// Auto hands the straggler knobs to the online tuner: Speculate and
+	// Steal are forced on, Batch/SpecQuantile/SpecMultiplier become the
+	// tuner's starting point, and every control-loop tick may adjust
+	// them from observed dispatch progress, hunger, profile dispersion
+	// and speculation outcomes (internal/tune). Adjustments are traced
+	// as EvTune events and exported via TuneSnapshot.
+	Auto bool
 	// Clock is the time source for the deadline machinery — heartbeat
 	// stamps and sweeps, lease grants, overtime deadlines, speculation
 	// ages and the control-loop tick. Nil means the wall clock; tests
@@ -161,6 +168,12 @@ type Options struct {
 
 // withDefaults fills the defaulted fields.
 func (o Options) withDefaults() Options {
+	if o.Auto {
+		// Auto means "mitigate stragglers for me": both mitigation
+		// mechanisms arm, and the tuner owns their thresholds.
+		o.Speculate = true
+		o.Steal = true
+	}
 	if o.MinWorkers < 1 {
 		o.MinWorkers = 1
 	}

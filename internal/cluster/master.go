@@ -17,6 +17,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/tune"
 )
 
 // Master is the elastic counterpart of core.RunMaster: it owns the
@@ -85,6 +86,13 @@ type Master[T any] struct {
 
 	ran  atomic.Bool
 	ctrs Counters
+
+	// tuner is the self-tuning controller, non-nil iff Options.Auto.
+	// hungers counts hunger beacons received (the recv loop adds, the
+	// control loop reads) — the starvation signal the tuner's AIMD
+	// batch rule decreases on.
+	tuner   *tune.Controller
+	hungers atomic.Int64
 
 	// onTick, when non-nil, runs at the end of every control-loop tick,
 	// after sweep, overtime expiry and speculation have all been applied
@@ -175,6 +183,10 @@ func NewMaster[T any](p core.Problem[T], opts Options) (*Master[T], error) {
 	}
 	if opts.Spec == (Spec{}) {
 		m.digest = "" // zero spec disables the admission digest check
+	}
+	if opts.Auto {
+		m.tuner = tune.New(tune.DefaultLimits(), opts.Batch,
+			opts.SpecQuantile, opts.SpecMultiplier, opts.SpecMinSamples)
 	}
 	if opts.Cache != nil && opts.CacheKey != "" {
 		m.cache = opts.Cache
@@ -359,6 +371,16 @@ func (m *Master[T]) Snapshot() Snapshot {
 	return s
 }
 
+// TuneSnapshot reports the self-tuner's current recommendations — what
+// the /metrics exposition exports as easyhps_tune_* gauges. The zero
+// snapshot (ok=false) means the master runs with static knobs.
+func (m *Master[T]) TuneSnapshot() (tune.Snapshot, bool) {
+	if m.tuner == nil {
+		return tune.Snapshot{}, false
+	}
+	return m.tuner.Snapshot(), true
+}
+
 func (m *Master[T]) finished() bool {
 	select {
 	case <-m.done:
@@ -536,9 +558,9 @@ func (m *Master[T]) senderLoop(mc *memberConn) {
 		}
 		for {
 			var ids []int32
-			if m.opts.Batch > 1 {
+			if cap := m.batchCap(); cap > 1 {
 				var ok bool
-				ids, ok = m.disp.NextBatch(mc.id, m.opts.Batch)
+				ids, ok = m.disp.NextBatch(mc.id, cap)
 				if !ok {
 					_ = mc.cn.Send(comm.Message{Kind: comm.KindEnd})
 					return
@@ -744,6 +766,7 @@ func (m *Master[T]) signalIdle(member int) {
 // results for stolen entries carry retired stamps and are dropped as
 // stale, and a death mid-steal requeues only what remains uncovered.
 func (m *Master[T]) feedHungry(member int) {
+	m.hungers.Add(1)
 	if !m.opts.Steal {
 		return
 	}
@@ -973,6 +996,9 @@ func (m *Master[T]) controlLoop() {
 			if m.opts.Speculate {
 				m.maybeSpeculate()
 			}
+			if m.tuner != nil {
+				m.tuneTick()
+			}
 			if m.onTick != nil {
 				m.onTick()
 			}
@@ -990,8 +1016,8 @@ func (m *Master[T]) maybeSpeculate() {
 	if m.disp.ReadyCount() > 0 {
 		return
 	}
-	threshold, ok := m.profile.Threshold(
-		m.opts.SpecQuantile, m.opts.SpecMultiplier, m.opts.SpecFloor, m.opts.SpecMinSamples)
+	q, mult := m.specParams()
+	threshold, ok := m.profile.Threshold(q, mult, m.opts.SpecFloor, m.opts.SpecMinSamples)
 	if !ok {
 		return // cold profile: not enough completions to judge stragglers
 	}
@@ -1020,5 +1046,45 @@ func (m *Master[T]) maybeSpeculate() {
 	}
 	if len(flagged) > 0 {
 		m.disp.Ready(flagged...)
+	}
+}
+
+// batchCap is the dispatch batch bound in effect right now: the
+// tuner's recommendation under Auto, the static option otherwise.
+func (m *Master[T]) batchCap() int {
+	if m.tuner != nil {
+		return m.tuner.BatchCap()
+	}
+	return m.opts.Batch
+}
+
+// specParams is the speculation threshold pair in effect right now.
+func (m *Master[T]) specParams() (quantile, multiplier float64) {
+	if m.tuner != nil {
+		return m.tuner.SpecParams()
+	}
+	return m.opts.SpecQuantile, m.opts.SpecMultiplier
+}
+
+// tuneTick feeds one control-tick observation to the tuner and traces
+// the recommendation when it moved. Runs on the control loop after the
+// tick's sweeps and speculation, so the sample reflects this tick's
+// outcomes.
+func (m *Master[T]) tuneTick() {
+	sample := tune.Sample{
+		Dispatches: m.ctrs.Dispatches.Load(),
+		TaskBytes:  m.ctrs.TaskBytes.Load(),
+		Hungers:    m.hungers.Load(),
+		Steals:     m.ctrs.Steals.Load(),
+		SpecWon:    m.ctrs.SpecWon.Load(),
+		SpecWasted: m.ctrs.SpecWasted.Load(),
+	}
+	if n := m.profile.Samples(); n > 0 {
+		p50, _ := m.profile.Quantile(0.5)
+		p95, _ := m.profile.Quantile(0.95)
+		sample.ProfileP50, sample.ProfileP95, sample.ProfileSamples = p50, p95, n
+	}
+	if d := m.tuner.Tick(sample); d.Changed {
+		m.opts.Trace.Tune(d.BatchCap, d.Reason)
 	}
 }

@@ -107,6 +107,14 @@ type Config struct {
 	// tail of that backlog and requeues it for the starved slave. Not
 	// applied under PolicyBlockCyclic.
 	Steal bool
+	// Auto runs the self-tuning controller (internal/tune) on the
+	// fault-tolerance tick: Batch and the speculation thresholds become
+	// starting points that adapt to observed dispatch amortization,
+	// starvation and speculation outcomes, an unset ProcPartition comes
+	// from the cost-model advisor instead of the n/8 rule, and
+	// Speculate and Steal are enabled — auto means the system owns the
+	// schedule. Controller decisions land in Trace as "tune" events.
+	Auto bool
 	// Latency is the emulated interconnect cost of the in-process
 	// transport.
 	Latency comm.LatencyModel
@@ -190,7 +198,13 @@ func (c Config) withDefaults(n dag.Size) (Config, error) {
 	if c.Threads < 1 {
 		return c, fmt.Errorf("core: need at least 1 thread per slave, got %d", c.Threads)
 	}
+	if c.Auto {
+		c.Speculate = true
+		c.Steal = true
+	}
 	if !c.ProcPartition.Valid() {
+		// Under Auto, prepare() already consulted the partition advisor
+		// (it needs the kernel's cost model, which Config cannot see).
 		c.ProcPartition = dag.Size{Rows: (n.Rows + 7) / 8, Cols: (n.Cols + 7) / 8}
 	}
 	if !c.ThreadPartition.Valid() {

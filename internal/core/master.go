@@ -14,6 +14,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/tune"
 )
 
 // master is the master part of the runtime (Figs. 9-10 of the paper): it
@@ -76,6 +77,12 @@ type master[T any] struct {
 	resultKey []cas.Key
 	peers     []*cas.PeerSet
 
+	// tuner is the self-tuning controller, non-nil iff Config.Auto.
+	// hungers accumulates starved-sender observations per control tick;
+	// only the fault-tolerance loop touches it.
+	tuner   *tune.Controller
+	hungers int64
+
 	done     chan struct{}
 	doneOnce sync.Once
 	errMu    sync.Mutex
@@ -124,6 +131,9 @@ func runMaster[T any](ctx context.Context, p Problem[T], cfg Config, tr comm.Tra
 		idle:        make([]chan struct{}, cfg.Slaves+1),
 		waiting:     make([]atomic.Bool, cfg.Slaves+1),
 		done:        make(chan struct{}),
+	}
+	if cfg.Auto {
+		m.tuner = tune.New(tune.DefaultLimits(), cfg.Batch, specQuantile, specMultiplier, specMinSamples)
 	}
 	switch cfg.Policy {
 	case PolicyBlockCyclic:
@@ -259,9 +269,11 @@ func (m *master[T]) senderLoop(s int) {
 			return
 		}
 		for {
-			if m.cfg.Batch > 1 {
+			// The cap is re-read per draw: under Auto the controller
+			// moves it while the run is in flight.
+			if cap := m.batchCap(); cap > 1 {
 				m.waiting[s].Store(true)
-				ids, ok := m.disp.NextBatch(worker, m.cfg.Batch)
+				ids, ok := m.disp.NextBatch(worker, cap)
 				m.waiting[s].Store(false)
 				if !ok {
 					m.sendEnd(s)
@@ -759,7 +771,55 @@ func (m *master[T]) faultToleranceLoop() {
 			if m.cfg.Steal && mitigate {
 				m.maybeSteal()
 			}
+			if m.tuner != nil {
+				m.tuneTick()
+			}
 		}
+	}
+}
+
+// batchCap is the dispatch batch bound in effect right now: the
+// controller's recommendation under Auto, the configured constant
+// otherwise. Lock-free — senders read it on every draw.
+func (m *master[T]) batchCap() int {
+	if m.tuner != nil {
+		return m.tuner.BatchCap()
+	}
+	return m.cfg.Batch
+}
+
+// specParams are the speculation thresholds in effect right now.
+func (m *master[T]) specParams() (quantile, multiplier float64) {
+	if m.tuner != nil {
+		return m.tuner.SpecParams()
+	}
+	return specQuantile, specMultiplier
+}
+
+// tuneTick feeds the controller one observation of the run's counters
+// and profile; recommendation changes land in the trace. Called from
+// the fault-tolerance loop only.
+func (m *master[T]) tuneTick() {
+	for s := 1; s <= m.cfg.Slaves; s++ {
+		if m.waiting[s].Load() && m.leases.Load(s) == 0 {
+			m.hungers++
+		}
+	}
+	sample := tune.Sample{
+		Dispatches: m.ctrs.dispatches.Load(),
+		TaskBytes:  m.ctrs.taskBytes.Load(),
+		Hungers:    m.hungers,
+		Steals:     m.ctrs.steals.Load(),
+		SpecWon:    m.ctrs.specWon.Load(),
+		SpecWasted: m.ctrs.specWasted.Load(),
+	}
+	if n := m.profile.Samples(); n > 0 {
+		p50, _ := m.profile.Quantile(0.5)
+		p95, _ := m.profile.Quantile(0.95)
+		sample.ProfileP50, sample.ProfileP95, sample.ProfileSamples = p50, p95, n
+	}
+	if d := m.tuner.Tick(sample); d.Changed {
+		m.cfg.Trace.Tune(d.BatchCap, d.Reason)
 	}
 }
 
@@ -788,7 +848,8 @@ func (m *master[T]) maybeSpeculate() {
 	if m.disp.ReadyCount() > 0 {
 		return
 	}
-	threshold, ok := m.profile.Threshold(specQuantile, specMultiplier, m.cfg.CheckInterval, specMinSamples)
+	q, mult := m.specParams()
+	threshold, ok := m.profile.Threshold(q, mult, m.cfg.CheckInterval, specMinSamples)
 	if !ok {
 		return // cold profile: not enough completions to judge stragglers
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/tune"
 )
 
 // Run executes problem p on an in-process emulated cluster: one master
@@ -106,6 +107,18 @@ func prepare[T any](p Problem[T], cfg Config) (Config, error) {
 	}
 	if p.Codec == nil {
 		return cfg, fmt.Errorf("core: problem %q has no codec", p.Name)
+	}
+	if cfg.Auto && !cfg.ProcPartition.Valid() {
+		// The advisor needs the kernel's cost model and the worker
+		// count, neither of which Config.withDefaults can see. Master
+		// and slaves run prepare with identical inputs, so both derive
+		// the same partition.
+		cm, _ := p.Kernel.(tune.CostModel)
+		workers := cfg.Slaves
+		if cfg.Threads > 1 {
+			workers *= cfg.Threads
+		}
+		cfg.ProcPartition = tune.AdvisePartition(p.Size.Rows, p.Size.Cols, workers, cm)
 	}
 	return cfg.withDefaults(p.Size)
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // Options configures a shared fleet.
@@ -81,6 +82,14 @@ type Options struct {
 	// Steal enables feeding hungry workers from the most loaded member's
 	// undispatched backlog.
 	Steal bool
+	// Auto hands the shared-pool knobs to the online tuner: Speculate
+	// and Steal are forced on, Batch/SpecQuantile/SpecMultiplier become
+	// the tuner's starting point, and every control tick may adjust them
+	// from dispatch progress, hunger, the worst per-job profile
+	// dispersion and speculation outcomes (internal/tune). Adjustments
+	// are traced as EvTune events on the fleet recorder and exported via
+	// TuneSnapshot.
+	Auto bool
 	// Cache, when non-nil, is the cross-job content-addressed result
 	// store (internal/cas), shared by every job that submits a CacheKey:
 	// computable vertices are probed before dispatch (a hit applies the
@@ -100,6 +109,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Auto {
+		// Auto means "mitigate stragglers for me": both mitigation
+		// mechanisms arm, and the tuner owns their thresholds.
+		o.Speculate = true
+		o.Steal = true
+	}
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = 250 * time.Millisecond
 	}
@@ -194,6 +209,13 @@ type Fleet[T any] struct {
 
 	hungers atomic.Int64
 	stale   atomic.Int64 // results for unknown/finished jobs
+
+	// tuner is the self-tuning controller, non-nil iff Options.Auto.
+	// retired (guarded by mu) folds the counters of retired jobs into
+	// the tuner's cumulative sample so it stays monotone after jobs
+	// leave the running table.
+	tuner   *tune.Controller
+	retired tune.Sample
 
 	// progressMu/progressC/progressGen let observers (tests) wait for
 	// scheduling progress without polling: noteProgress bumps the
@@ -304,6 +326,10 @@ func New[T any](opts Options) (*Fleet[T], error) {
 	}
 	f.cond = sync.NewCond(&f.mu)
 	f.progressC = sync.NewCond(&f.progressMu)
+	if opts.Auto {
+		f.tuner = tune.New(tune.DefaultLimits(), opts.Batch,
+			opts.SpecQuantile, opts.SpecMultiplier, opts.SpecMinSamples)
+	}
 	f.wg.Add(3)
 	go func() { defer f.wg.Done(); f.acceptLoop() }()
 	go func() { defer f.wg.Done(); f.recvLoop() }()
@@ -365,6 +391,17 @@ func (f *Fleet[T]) Run(ctx context.Context, p core.Problem[T], req JobRequest) (
 	id := f.nextID
 	f.mu.Unlock()
 
+	if f.opts.Auto && !req.Proc.Valid() {
+		// Partition advisor: pick the block size from the kernel's cost
+		// model and the membership at submission. Workers follow the
+		// job-spec frame's Proc, so the choice cannot diverge.
+		cm, _ := p.Kernel.(tune.CostModel)
+		workers := f.reg.Live()
+		if workers < 1 {
+			workers = 1
+		}
+		req.Proc = tune.AdvisePartition(p.Size.Rows, p.Size.Cols, workers, cm)
+	}
 	jb, err := newJob(id, p, req, f.clock)
 	if err != nil {
 		return nil, err
@@ -442,6 +479,13 @@ func (f *Fleet[T]) retire(jb *job[T]) {
 		}
 	}
 	jb.ready = nil
+	// Fold the job's counters into the retired baseline so the tuner's
+	// cumulative sample stays monotone after the job leaves the table.
+	f.retired.Dispatches += jb.ctrs.Dispatches.Load()
+	f.retired.TaskBytes += jb.ctrs.TaskBytes.Load()
+	f.retired.Steals += jb.ctrs.Steals.Load()
+	f.retired.SpecWon += jb.ctrs.SpecWon.Load()
+	f.retired.SpecWasted += jb.ctrs.SpecWasted.Load()
 	f.doneLog = append(f.doneLog, jb)
 	if over := len(f.doneLog) - f.opts.RetainJobs; over > 0 {
 		f.doneLog = append([]*job[T](nil), f.doneLog[over:]...)
@@ -651,7 +695,7 @@ func (f *Fleet[T]) nextBatch(mc *memberConn) (*job[T], []int32, bool) {
 		}
 		if i := f.opts.Policy.Pick(views); i >= 0 {
 			jb := jobs[i]
-			n := f.opts.Batch
+			n := f.batchCap()
 			if q := views[i].Quota; q > 0 {
 				if room := q - views[i].Inflight; room < n {
 					n = room
@@ -1253,8 +1297,74 @@ func (f *Fleet[T]) controlLoop() {
 			for _, jb := range running {
 				f.tickJob(jb, now)
 			}
+			if f.tuner != nil {
+				f.tuneTick()
+			}
 		}
 	}
+}
+
+// batchCap is the dispatch batch bound in effect right now: the tuner's
+// recommendation under Auto, the static option otherwise.
+func (f *Fleet[T]) batchCap() int {
+	if f.tuner != nil {
+		return f.tuner.BatchCap()
+	}
+	return f.opts.Batch
+}
+
+// specParams is the speculation threshold pair in effect right now.
+func (f *Fleet[T]) specParams() (quantile, multiplier float64) {
+	if f.tuner != nil {
+		return f.tuner.SpecParams()
+	}
+	return f.opts.SpecQuantile, f.opts.SpecMultiplier
+}
+
+// tuneTick feeds one control-tick observation to the tuner: counter
+// totals summed across running jobs plus the retired baseline, and the
+// quantile pair of whichever running job shows the heaviest straggler
+// tail — the fleet-wide thresholds must serve its worst case.
+func (f *Fleet[T]) tuneTick() {
+	f.mu.Lock()
+	s := f.retired
+	var worst float64
+	for _, id := range f.order {
+		jb := f.jobs[id]
+		s.Dispatches += jb.ctrs.Dispatches.Load()
+		s.TaskBytes += jb.ctrs.TaskBytes.Load()
+		s.Steals += jb.ctrs.Steals.Load()
+		s.SpecWon += jb.ctrs.SpecWon.Load()
+		s.SpecWasted += jb.ctrs.SpecWasted.Load()
+		n := jb.profile.Samples()
+		if n == 0 {
+			continue
+		}
+		p50, _ := jb.profile.Quantile(0.5)
+		p95, _ := jb.profile.Quantile(0.95)
+		if p50 <= 0 {
+			continue
+		}
+		if d := float64(p95) / float64(p50); s.ProfileSamples == 0 || d > worst {
+			worst = d
+			s.ProfileP50, s.ProfileP95, s.ProfileSamples = p50, p95, n
+		}
+	}
+	f.mu.Unlock()
+	s.Hungers = f.hungers.Load()
+	if d := f.tuner.Tick(s); d.Changed {
+		f.opts.Trace.Tune(d.BatchCap, d.Reason)
+	}
+}
+
+// TuneSnapshot reports the self-tuner's current recommendations — what
+// the /metrics exposition exports as easyhps_tune_* gauges. The zero
+// snapshot (ok=false) means the fleet runs with static knobs.
+func (f *Fleet[T]) TuneSnapshot() (tune.Snapshot, bool) {
+	if f.tuner == nil {
+		return tune.Snapshot{}, false
+	}
+	return f.tuner.Snapshot(), true
 }
 
 // tickJob applies one control tick to one job: overtime expiry with the
@@ -1305,8 +1415,8 @@ func (f *Fleet[T]) maybeSpeculate(jb *job[T]) {
 	if queued > 0 {
 		return
 	}
-	threshold, ok := jb.profile.Threshold(
-		f.opts.SpecQuantile, f.opts.SpecMultiplier, f.opts.SpecFloor, f.opts.SpecMinSamples)
+	q, mult := f.specParams()
+	threshold, ok := jb.profile.Threshold(q, mult, f.opts.SpecFloor, f.opts.SpecMinSamples)
 	if !ok {
 		return
 	}

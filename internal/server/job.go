@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/tune"
 )
 
 // State is a job lifecycle state. The machine is
@@ -245,6 +246,13 @@ type Manager struct {
 	fleetMu    sync.Mutex
 	fleetStats func() fleet.Snapshot
 
+	// tuneMu guards tuneStats, the snapshot source of a self-tuning
+	// controller (set automatically from cfg.Fleet when it runs with
+	// Auto; see SetTuneStats). ok=false means no tuner is active and
+	// the easyhps_tune_* series are omitted.
+	tuneMu    sync.Mutex
+	tuneStats func() (tune.Snapshot, bool)
+
 	mu       sync.Mutex
 	seq      uint64
 	jobs     map[string]*Job
@@ -283,6 +291,7 @@ func NewManager(cfg ManagerConfig, reg *Registry) *Manager {
 	}
 	if cfg.Fleet != nil {
 		m.fleetStats = cfg.Fleet.Snapshot
+		m.tuneStats = cfg.Fleet.TuneSnapshot
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)

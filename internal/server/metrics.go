@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/tune"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-job latency
@@ -113,6 +114,18 @@ func (m *Manager) SetFleetStats(fn func() fleet.Snapshot) {
 	m.fleetMu.Lock()
 	m.fleetStats = fn
 	m.fleetMu.Unlock()
+}
+
+// SetTuneStats attaches a self-tuning controller snapshot source to the
+// /metrics exposition (NewManager installs cfg.Fleet's automatically; a
+// cluster-mode service wires its master's TuneSnapshot). The source
+// returns ok=false while no tuner is active, which suppresses the
+// easyhps_tune_* series. A nil fn detaches it. fn is called at
+// exposition time and must be safe for concurrent use.
+func (m *Manager) SetTuneStats(fn func() (tune.Snapshot, bool)) {
+	m.tuneMu.Lock()
+	m.tuneStats = fn
+	m.tuneMu.Unlock()
 }
 
 // WriteMetrics writes the text exposition (Prometheus-compatible format)
@@ -217,6 +230,15 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP easyhps_speculative_waste_ratio Wasted fraction of dispatched speculative backups.\n# TYPE easyhps_speculative_waste_ratio gauge\neasyhps_speculative_waste_ratio 0\n")
 	}
 
+	m.tuneMu.Lock()
+	tuneFn := m.tuneStats
+	m.tuneMu.Unlock()
+	if tuneFn != nil {
+		if s, ok := tuneFn(); ok {
+			writeTune(w, s)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP easyhps_spill_total Blocks spilled to disk by memory-bounded stores across all runs.\n# TYPE easyhps_spill_total counter\neasyhps_spill_total %d\n", x.spills.Load())
 	fmt.Fprintf(w, "# HELP easyhps_spill_load_total Spilled blocks loaded back from disk across all runs.\n# TYPE easyhps_spill_load_total counter\neasyhps_spill_load_total %d\n", x.spillLoads.Load())
 
@@ -302,6 +324,15 @@ func writeFleet(w io.Writer, snap fleet.Snapshot) {
 	for _, j := range snap.Jobs {
 		fmt.Fprintf(w, "easyhps_job_redistributions_total{job=%q} %d\n", j.Name, j.Stats.Redistributions)
 	}
+}
+
+// writeTune emits the self-tuning controller's current recommendations —
+// the knobs the runtime is actually scheduling with right now.
+func writeTune(w io.Writer, s tune.Snapshot) {
+	fmt.Fprintf(w, "# HELP easyhps_tune_batch_cap Dispatch batch cap currently recommended by the self-tuner.\n# TYPE easyhps_tune_batch_cap gauge\neasyhps_tune_batch_cap %d\n", s.BatchCap)
+	fmt.Fprintf(w, "# HELP easyhps_tune_spec_quantile Runtime-profile quantile currently used for speculation thresholds.\n# TYPE easyhps_tune_spec_quantile gauge\neasyhps_tune_spec_quantile %.3f\n", s.SpecQuantile)
+	fmt.Fprintf(w, "# HELP easyhps_tune_spec_multiplier Multiplier currently applied to the speculation quantile.\n# TYPE easyhps_tune_spec_multiplier gauge\neasyhps_tune_spec_multiplier %.3f\n", s.SpecMultiplier)
+	fmt.Fprintf(w, "# HELP easyhps_tune_adjustments_total Control ticks that changed a recommendation.\n# TYPE easyhps_tune_adjustments_total counter\neasyhps_tune_adjustments_total %d\n", s.Adjustments)
 }
 
 // writeLatencyHistogram emits the per-job latency histogram.

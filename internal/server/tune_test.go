@@ -1,0 +1,49 @@
+package server_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/tune"
+)
+
+// TestMetricsTuneSeries: with a tuner snapshot source attached, /metrics
+// exports the easyhps_tune_* gauges; when the source reports no active
+// tuner (or is detached), the series disappear.
+func TestMetricsTuneSeries(t *testing.T) {
+	mgr := server.NewManager(server.ManagerConfig{Run: fastRun(), MaxConcurrent: 1, QueueDepth: 2}, nil)
+	defer func() { _ = mgr.Shutdown(context.Background()) }()
+
+	mgr.SetTuneStats(func() (tune.Snapshot, bool) {
+		return tune.Snapshot{BatchCap: 6, SpecQuantile: 0.93, SpecMultiplier: 2.5, Adjustments: 17}, true
+	})
+	var b strings.Builder
+	mgr.WriteMetrics(&b)
+	text := b.String()
+	for _, want := range []string{
+		"easyhps_tune_batch_cap 6",
+		"easyhps_tune_spec_quantile 0.930",
+		"easyhps_tune_spec_multiplier 2.500",
+		"easyhps_tune_adjustments_total 17",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	mgr.SetTuneStats(func() (tune.Snapshot, bool) { return tune.Snapshot{}, false })
+	b.Reset()
+	mgr.WriteMetrics(&b)
+	if strings.Contains(b.String(), "easyhps_tune_") {
+		t.Error("easyhps_tune_ series exported while no tuner is active")
+	}
+
+	mgr.SetTuneStats(nil)
+	b.Reset()
+	mgr.WriteMetrics(&b)
+	if strings.Contains(b.String(), "easyhps_tune_") {
+		t.Error("easyhps_tune_ series exported after the source was detached")
+	}
+}

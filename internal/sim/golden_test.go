@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/golden")
+
+// TestScenarioGoldenTraces pins the byte-exact schedule of every
+// scenario at its own seed: the formatted trace of one run must equal
+// the checked-in testdata/golden/<name>.trace file. "deterministic"
+// expectations prove a run agrees with itself; the goldens prove it
+// agrees with the schedule that was reviewed — any change to dispatch
+// order, batching, speculation or tuning shows up as a golden diff and
+// has to be re-recorded deliberately with
+//
+//	go test ./internal/sim -run TestScenarioGoldenTraces -update
+func TestScenarioGoldenTraces(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.scenario"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no .scenario files under testdata")
+	}
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".scenario")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "golden", name+".trace")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(res.Trace), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden trace (run with -update to record): %v", err)
+			}
+			if res.Trace != string(want) {
+				t.Fatalf("schedule diverged from the recorded golden (%d vs %d bytes): %s\nre-record with -update only if the change is intended",
+					len(res.Trace), len(want), firstTraceDiff(string(want), res.Trace))
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 // JobSpec describes one DAG submitted to the simulated cluster. Zero
@@ -34,8 +35,18 @@ type JobSpec struct {
 	// MaxAttempts and TaskTimeout override the cluster defaults.
 	MaxAttempts int
 	TaskTimeout time.Duration
+	// Deadline bounds the job's total runtime from submission; past it
+	// the job fails at the next control tick (fleet.JobRequest.Timeout).
+	// Zero means no deadline.
+	Deadline time.Duration
 	// Cost overrides the cluster's nominal per-vertex service time.
 	Cost time.Duration
+	// CostPerCell, when set, adds CostPerCell x (block cell count) to
+	// each vertex's service time, so virtual compute scales with the
+	// partition the way real kernels do: finer blocks buy parallelism
+	// with per-task overhead (Cost) instead of conjuring work away.
+	// Zero keeps the flat per-vertex model of the older scenarios.
+	CostPerCell time.Duration
 	// CacheKey scopes the job's entries in the cluster's cross-job
 	// result store; empty disables caching for this job.
 	CacheKey string
@@ -141,7 +152,12 @@ func (c *Cluster) newJob(spec JobSpec) (*simJob, error) {
 	}
 	proc := spec.Proc
 	if !proc.Valid() {
-		proc = dag.Size{Rows: (p.Size.Rows + 7) / 8, Cols: (p.Size.Cols + 7) / 8}
+		if c.opts.Auto {
+			cm, _ := p.Kernel.(tune.CostModel)
+			proc = tune.AdvisePartition(p.Size.Rows, p.Size.Cols, len(c.workers), cm)
+		} else {
+			proc = dag.Size{Rows: (p.Size.Rows + 7) / 8, Cols: (p.Size.Cols + 7) / 8}
+		}
 	}
 	spec.Proc = proc
 	geom := dag.MatrixGeometry(p.Size, proc)
@@ -294,6 +310,10 @@ func (c *Cluster) requeueReady(jb *simJob, ids []int32) {
 // fleet.tickJob, with expiries sorted so same-instant deadlines cannot
 // surface in heap-tie order.
 func (c *Cluster) tickJob(jb *simJob, now time.Time) {
+	if jb.spec.Deadline > 0 && now.Sub(jb.start) >= jb.spec.Deadline {
+		jb.finish(fmt.Errorf("sim: job %q exceeded its %v deadline", jb.spec.Name, jb.spec.Deadline), now)
+		return
+	}
 	expired := jb.ot.ExpireBefore(now)
 	sort.Slice(expired, func(i, j int) bool {
 		a, b := expired[i], expired[j]
@@ -332,8 +352,8 @@ func (c *Cluster) maybeSpeculate(jb *simJob) {
 	if len(jb.ready) > 0 {
 		return
 	}
-	threshold, ok := jb.profile.Threshold(
-		c.opts.SpecQuantile, c.opts.SpecMultiplier, c.opts.SpecFloor, c.opts.SpecMinSamples)
+	q, mult := c.specParams()
+	threshold, ok := jb.profile.Threshold(q, mult, c.opts.SpecFloor, c.opts.SpecMinSamples)
 	if !ok {
 		return
 	}

@@ -26,11 +26,12 @@ import (
 //	cluster workers=4 seed=1 cost=10ms jitter=0.2 [batch=N] [timeout=D]
 //	        [check=D] [hb=D] [miss=N] [maxattempts=N] [horizon=D]
 //	        [speculate] [spec-q=F] [spec-mult=F] [spec-min=N] [spec-floor=D]
-//	        [steal] [cache]
+//	        [steal] [cache] [auto]
 //	job name=edit kernel=editdist n=64 seed=7 [proc=RxC] [weight=F]
 //	        [priority=N] [quota=N] [maxattempts=N] [timeout=D] [cost=D]
-//	        [cache-key=S]
+//	        [cost-per-cell=D] [deadline=D] [cache-key=S]
 //	at <offset> submit <jobname>
+//	at <offset> cancel <jobname>
 //	at <offset> join <n>
 //	at <offset> kill w<idx>
 //	at <offset> killn <n>
@@ -42,12 +43,20 @@ import (
 //	expect seed-sensitive
 //	expect makespan <= <dur>
 //	expect max-deficit <= <float>
+//	expect tune-batch <op> <value>
+//	expect tune-adjustments <op> <value>
 //	expect job <name> <field> <op> <value>
 //
-// Job expectation fields: makespan (duration), and the integer counters
-// dispatches, tasks, redistributions, stale-results, speculated,
-// spec-won, spec-wasted, steals, cache-hits, cache-misses, leaked.
+// Job expectation fields: makespan (duration), failed (1 when the job
+// ended in error, 0 otherwise), and the integer counters dispatches,
+// tasks, redistributions, stale-results, speculated, spec-won,
+// spec-wasted, steals, cache-hits, cache-misses, leaked.
 // Ops: == != <= >= < >.
+//
+// A job the script cancels may not be named by any expect directive —
+// its schedule ends mid-flight, so nothing about it is a stable claim —
+// and "expect complete"/"expect results" exempt cancelled jobs. The
+// tune-* fields need the auto flag.
 type Scenario struct {
 	Name     string
 	Opts     Options
@@ -84,6 +93,7 @@ type Expect struct {
 	Op    string
 	Value float64 // durations in nanoseconds
 	Raw   string  // original line, for error messages
+	Line  int     // 1-based line in the scenario file
 }
 
 // LoadScenario parses the .scenario file at path.
@@ -142,8 +152,8 @@ func ParseScenario(name string, r io.Reader) (*Scenario, error) {
 			var st Step
 			st, err = parseStep(fields[1:])
 			if err == nil {
-				if st.Op == "submit" && !jobNames[st.Job] {
-					err = fmt.Errorf("submit of undefined job %q", st.Job)
+				if (st.Op == "submit" || st.Op == "cancel") && !jobNames[st.Job] {
+					err = fmt.Errorf("%s of undefined job %q", st.Op, st.Job)
 				} else {
 					s.Steps = append(s.Steps, st)
 				}
@@ -153,6 +163,7 @@ func ParseScenario(name string, r io.Reader) (*Scenario, error) {
 			ex, err = parseExpect(fields[1:])
 			if err == nil {
 				ex.Raw = line
+				ex.Line = lineno
 				s.Expects = append(s.Expects, ex)
 			}
 		default:
@@ -172,14 +183,26 @@ func ParseScenario(name string, r io.Reader) (*Scenario, error) {
 		return nil, fmt.Errorf("%s: no jobs defined", name)
 	}
 	submitted := make(map[string]bool)
+	cancelled := make(map[string]bool)
 	for _, st := range s.Steps {
-		if st.Op == "submit" {
+		switch st.Op {
+		case "submit":
 			submitted[st.Job] = true
+		case "cancel":
+			cancelled[st.Job] = true
 		}
 	}
 	for _, jb := range s.Jobs {
 		if !submitted[jb.Spec.Name] {
 			return nil, fmt.Errorf("%s: job %q defined but never submitted", name, jb.Spec.Name)
+		}
+	}
+	// An expectation about a job the fault script cancels asserts on a
+	// schedule that ends mid-flight: nothing about it is stable, so the
+	// directive is rejected up front, like a submit of an undefined job.
+	for _, ex := range s.Expects {
+		if ex.Job != "" && cancelled[ex.Job] {
+			return nil, fmt.Errorf("%s:%d: expect references job %q, which the script cancels", name, ex.Line, ex.Job)
 		}
 	}
 	return s, nil
@@ -226,6 +249,8 @@ func (s *Scenario) parseCluster(kvs []string) error {
 			s.Opts.Steal = true
 		case "cache":
 			s.UseCache = true
+		case "auto":
+			s.Opts.Auto = true
 		default:
 			return fmt.Errorf("unknown cluster key %q", key)
 		}
@@ -233,7 +258,7 @@ func (s *Scenario) parseCluster(kvs []string) error {
 			return fmt.Errorf("cluster %s: %v", kv, err)
 		}
 		switch key {
-		case "speculate", "steal", "cache":
+		case "speculate", "steal", "cache", "auto":
 			if hasVal {
 				return fmt.Errorf("cluster %s: flag takes no value", key)
 			}
@@ -268,8 +293,12 @@ func parseJob(kvs []string) (ScenarioJob, error) {
 			jb.Spec.MaxAttempts, err = strconv.Atoi(val)
 		case "timeout":
 			jb.Spec.TaskTimeout, err = time.ParseDuration(val)
+		case "deadline":
+			jb.Spec.Deadline, err = time.ParseDuration(val)
 		case "cost":
 			jb.Spec.Cost, err = time.ParseDuration(val)
+		case "cost-per-cell":
+			jb.Spec.CostPerCell, err = time.ParseDuration(val)
 		case "cache-key":
 			jb.Spec.CacheKey = val
 		default:
@@ -315,9 +344,9 @@ func parseStep(fields []string) (Step, error) {
 	st.Op = fields[1]
 	args := fields[2:]
 	switch st.Op {
-	case "submit":
+	case "submit", "cancel":
 		if len(args) != 1 {
-			return st, fmt.Errorf("submit wants a job name")
+			return st, fmt.Errorf("%s wants a job name", st.Op)
 		}
 		st.Job = args[0]
 	case "join", "killn":
@@ -444,6 +473,8 @@ func (s *Scenario) Run(seed int64) (*Result, error) {
 				return nil, fmt.Errorf("%s: job %q: %v", s.Name, st.Job, err)
 			}
 			res.Jobs[st.Job] = j
+		case "cancel":
+			c.CancelAt(st.At, st.Job)
 		case "join":
 			c.JoinAt(st.At, st.N)
 		case "kill":
@@ -474,6 +505,12 @@ func (s *Scenario) Check() error {
 	fail := func(format string, args ...any) {
 		errs = append(errs, fmt.Sprintf("%s: %s", s.Name, fmt.Sprintf(format, args...)))
 	}
+	cancelled := make(map[string]bool)
+	for _, st := range s.Steps {
+		if st.Op == "cancel" {
+			cancelled[st.Job] = true
+		}
+	}
 	for _, ex := range s.Expects {
 		switch ex.Field {
 		case "complete":
@@ -481,12 +518,15 @@ func (s *Scenario) Check() error {
 				fail("run failed: %v", res.RunErr)
 			}
 			for name, j := range res.Jobs {
-				if j.Err() != nil {
+				if !cancelled[name] && j.Err() != nil {
 					fail("job %q failed: %v", name, j.Err())
 				}
 			}
 		case "results":
 			for _, def := range s.Jobs {
+				if cancelled[def.Spec.Name] {
+					continue
+				}
 				j := res.Jobs[def.Spec.Name]
 				got := j.Result()
 				if got == nil {
@@ -542,10 +582,33 @@ func (s *Scenario) Check() error {
 			if !compare(res.Cluster.MaxDeficit(), ex.Op, ex.Value) {
 				fail("%s: got %v", ex.Raw, res.Cluster.MaxDeficit())
 			}
+		case "tune-batch", "tune-adjustments":
+			tn := res.Cluster.Tuner()
+			if tn == nil {
+				fail("%s: needs the auto cluster flag", ex.Raw)
+				continue
+			}
+			v := float64(tn.BatchCap())
+			if ex.Field == "tune-adjustments" {
+				v = float64(tn.Adjustments())
+			}
+			if !compare(v, ex.Op, ex.Value) {
+				fail("%s: got %v", ex.Raw, v)
+			}
 		default:
 			j := res.Jobs[ex.Job]
 			if ex.Job == "" || j == nil {
 				fail("%s: unknown expectation target", ex.Raw)
+				continue
+			}
+			if ex.Field == "failed" {
+				var v float64
+				if j.Err() != nil {
+					v = 1
+				}
+				if !compare(v, ex.Op, ex.Value) {
+					fail("%s: got %v (err: %v)", ex.Raw, v, j.Err())
+				}
 				continue
 			}
 			v, ok := statField(j.Stats(), ex.Field)

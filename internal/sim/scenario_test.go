@@ -110,8 +110,8 @@ func TestScenariosReseeded(t *testing.T) {
 func TestParseScenarioFields(t *testing.T) {
 	const text = `
 # full-feature parse check
-cluster workers=16 batch=2 seed=9 cost=3ms jitter=0.25 timeout=2s check=50ms hb=40ms miss=4 maxattempts=5 horizon=90s speculate spec-q=0.9 spec-mult=3 spec-min=6 spec-floor=10ms steal cache
-job name=j kernel=editdist n=32 seed=4 proc=4x4 weight=2.5 priority=1 quota=3 maxattempts=2 timeout=1s cost=7ms cache-key=k
+cluster workers=16 batch=2 seed=9 cost=3ms jitter=0.25 timeout=2s check=50ms hb=40ms miss=4 maxattempts=5 horizon=90s speculate spec-q=0.9 spec-mult=3 spec-min=6 spec-floor=10ms steal cache auto
+job name=j kernel=editdist n=32 seed=4 proc=4x4 weight=2.5 priority=1 quota=3 maxattempts=2 timeout=1s cost=7ms cost-per-cell=250us deadline=20s cache-key=k
 at 5ms submit j
 at 10ms join 3
 at 15ms kill w2
@@ -133,7 +133,7 @@ expect job j tasks == 16
 		o.Jitter != 0.25 || o.TaskTimeout != 2*time.Second || o.CheckInterval != 50*time.Millisecond ||
 		o.HeartbeatInterval != 40*time.Millisecond || o.HeartbeatMiss != 4 || o.MaxAttempts != 5 ||
 		o.Horizon != 90*time.Second || !o.Speculate || o.SpecQuantile != 0.9 || o.SpecMultiplier != 3 ||
-		o.SpecMinSamples != 6 || o.SpecFloor != 10*time.Millisecond || !o.Steal {
+		o.SpecMinSamples != 6 || o.SpecFloor != 10*time.Millisecond || !o.Steal || !o.Auto {
 		t.Fatalf("cluster options misparsed: %+v", o)
 	}
 	if !s.UseCache {
@@ -147,6 +147,7 @@ expect job j tasks == 16
 		jb.Spec.Proc.Rows != 4 || jb.Spec.Proc.Cols != 4 || jb.Spec.Weight != 2.5 ||
 		jb.Spec.Priority != 1 || jb.Spec.Quota != 3 || jb.Spec.MaxAttempts != 2 ||
 		jb.Spec.TaskTimeout != time.Second || jb.Spec.Cost != 7*time.Millisecond ||
+		jb.Spec.CostPerCell != 250*time.Microsecond || jb.Spec.Deadline != 20*time.Second ||
 		jb.Spec.CacheKey != "k" {
 		t.Fatalf("job misparsed: %+v", jb)
 	}
@@ -201,6 +202,12 @@ func TestParseScenarioErrors(t *testing.T) {
 		{"expect bad op", header + "expect makespan ~ 3s\n", "unknown op"},
 		{"expect bad value", header + "expect makespan <= soonish\n", "bad value"},
 		{"expect job arity", header + "expect job j tasks ==\n", "expect job"},
+		{"cancel unknown job", header + "at 1ms cancel ghost\n", `cancel of undefined job "ghost"`},
+		{"cancel arity", header + "at 1ms cancel\n", "cancel wants a job name"},
+		{"expect on cancelled job", header + "at 1ms cancel j\nexpect job j tasks == 1\n",
+			`x:5: expect references job "j", which the script cancels`},
+		{"expect before cancel step", header + "expect job j tasks == 1\nat 1ms cancel j\n",
+			`x:4: expect references job "j", which the script cancels`},
 		{"no cluster", "job name=j kernel=editdist n=8\nat 0ms submit j\n", "missing cluster"},
 		{"no jobs", "cluster workers=2\n", "no jobs defined"},
 		{"never submitted", "cluster workers=2\njob name=j kernel=editdist n=8\n", "never submitted"},

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tune"
 
 	"repro/internal/cas"
 )
@@ -84,9 +85,20 @@ type Options struct {
 	// every unfinished job (default 1h) — the guard that turns a
 	// scheduling livelock into a test failure instead of a hang.
 	Horizon time.Duration
+	// Auto runs the self-tuning controller on every control tick: the
+	// batch cap and speculation thresholds above become starting points
+	// that adapt to the observed workload, unset job partitions come
+	// from the cost-model advisor, and speculation plus stealing are
+	// enabled (auto means the system owns the schedule). Mirrors the
+	// production -auto flag.
+	Auto bool
 }
 
 func (o Options) withDefaults() Options {
+	if o.Auto {
+		o.Speculate = true
+		o.Steal = true
+	}
 	if o.Batch < 1 {
 		o.Batch = 1
 	}
@@ -151,6 +163,9 @@ type Cluster struct {
 	jobs []*simJob // submission order
 	ran  bool
 
+	// tuner is the self-tuning controller, non-nil iff Options.Auto.
+	tuner *tune.Controller
+
 	// maxDeficit is the largest served spread observed across eligible
 	// jobs at any pick (see nextBatch) — the realized fair-share bound.
 	maxDeficit float64
@@ -171,6 +186,10 @@ func New(opts Options) *Cluster {
 	}
 	c.tr = trace.NewWithNow(clock.Now)
 	c.reg = cluster.NewRegistry(c.tr, clock)
+	if opts.Auto {
+		c.tuner = tune.New(tune.DefaultLimits(), opts.Batch,
+			opts.SpecQuantile, opts.SpecMultiplier, opts.SpecMinSamples)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		c.admit()
 	}
@@ -252,6 +271,22 @@ func (c *Cluster) PartitionAt(d time.Duration, idx int, dur time.Duration) {
 			w.partitioned = false
 			if !w.declaredDead {
 				c.noteIdleIfFree(w)
+				c.dispatchAll()
+			}
+		}
+	})
+}
+
+// CancelAt scripts a client cancellation of the named job at virtual
+// offset d: the job reaches its terminal state immediately, in-flight
+// frames are dropped when workers reach them, and its leases count as
+// leaked in the job's stats. Cancelling a finished or unknown job is a
+// no-op, like a late DELETE against the job service.
+func (c *Cluster) CancelAt(d time.Duration, name string) {
+	c.At(d, func() {
+		for _, jb := range c.jobs {
+			if jb.spec.Name == name && jb.active && !jb.done {
+				jb.finish(fmt.Errorf("sim: job %q cancelled by script", name), c.now())
 				c.dispatchAll()
 			}
 		}
@@ -415,12 +450,76 @@ func (c *Cluster) scheduleTick() {
 				c.tickJob(jb, now)
 			}
 		}
+		if c.tuner != nil {
+			if d := c.tuner.Tick(c.tuneSample()); d.Changed {
+				c.tr.Tune(d.BatchCap, d.Reason)
+			}
+		}
 		c.dispatchAll()
 		if !c.finishedAll() {
 			c.scheduleTick()
 		}
 	})
 }
+
+// tuneSample assembles the controller's observation for one tick:
+// counter totals summed over every activated job (finished jobs stay in
+// the sum so the totals remain monotone), and the runtime-profile
+// quantiles of the running job with the heaviest straggler tail — if
+// any workload shows dispersion, speculation stays armed for it.
+func (c *Cluster) tuneSample() tune.Sample {
+	var s tune.Sample
+	var worst float64
+	for _, jb := range c.jobs {
+		if !jb.active {
+			continue
+		}
+		s.Dispatches += jb.ctrs.Dispatches.Load()
+		s.TaskBytes += jb.ctrs.TaskBytes.Load()
+		s.Steals += jb.ctrs.Steals.Load()
+		s.SpecWon += jb.ctrs.SpecWon.Load()
+		s.SpecWasted += jb.ctrs.SpecWasted.Load()
+		if jb.done {
+			continue
+		}
+		n := jb.profile.Samples()
+		if n == 0 {
+			continue
+		}
+		p50, _ := jb.profile.Quantile(0.5)
+		p95, _ := jb.profile.Quantile(0.95)
+		if p50 <= 0 {
+			continue
+		}
+		if d := float64(p95) / float64(p50); s.ProfileSamples == 0 || d > worst {
+			worst = d
+			s.ProfileP50, s.ProfileP95, s.ProfileSamples = p50, p95, n
+		}
+	}
+	return s
+}
+
+// batchCap is the dispatch batch bound in effect right now: the
+// controller's recommendation under -auto, the configured constant
+// otherwise.
+func (c *Cluster) batchCap() int {
+	if c.tuner != nil {
+		return c.tuner.BatchCap()
+	}
+	return c.opts.Batch
+}
+
+// specParams are the speculation thresholds in effect right now.
+func (c *Cluster) specParams() (quantile, multiplier float64) {
+	if c.tuner != nil {
+		return c.tuner.SpecParams()
+	}
+	return c.opts.SpecQuantile, c.opts.SpecMultiplier
+}
+
+// Tuner exposes the self-tuning controller (nil unless Options.Auto),
+// for assertions on converged recommendations.
+func (c *Cluster) Tuner() *tune.Controller { return c.tuner }
 
 // Trace renders the full event stream of the run in canonical form:
 // the membership stream first, then each job's scheduling stream in

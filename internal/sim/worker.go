@@ -150,7 +150,7 @@ func (c *Cluster) nextBatch() (*simJob, []int32) {
 		return nil, nil
 	}
 	jb := running[i]
-	n := c.opts.Batch
+	n := c.batchCap()
 	if q := views[i].Quota; q > 0 {
 		if room := q - views[i].Inflight; room < n {
 			n = room
@@ -274,11 +274,17 @@ func (c *Cluster) startNext(w *simWorker) {
 }
 
 // serviceTime draws the virtual execution time of one entry: the job's
-// nominal cost, scaled by the worker's current speed factor and the
-// cluster's jitter. The RNG is consumed in event order, so the draw
-// sequence — and with it the whole schedule — is a function of the seed.
+// nominal cost (plus the block-area term when CostPerCell is set),
+// scaled by the worker's current speed factor and the cluster's jitter.
+// The RNG is consumed in event order, so the draw sequence — and with
+// it the whole schedule — is a function of the seed.
 func (c *Cluster) serviceTime(e *entry, w *simWorker) time.Duration {
-	d := float64(e.jb.cost) * w.speed
+	cost := float64(e.jb.cost)
+	if e.jb.spec.CostPerCell > 0 {
+		r := e.jb.geom.Rect(e.jb.geom.PosOf(e.vertex))
+		cost += float64(e.jb.spec.CostPerCell) * float64(r.Rows*r.Cols)
+	}
+	d := cost * w.speed
 	if c.opts.Jitter > 0 {
 		d *= 1 + c.opts.Jitter*(2*c.rng.Float64()-1)
 	}

@@ -36,6 +36,12 @@ const (
 	// EvSteal records a work-steal: Worker is the hungry member the work
 	// moved toward and Ready the number of stolen vertices.
 	EvSteal
+	// EvTune records the self-tuning controller changing a
+	// recommendation: Ready carries the new batch cap and Label the
+	// human-readable decision (new spec thresholds and the reason).
+	// Emitted only when auto-tuning is enabled and something actually
+	// moved, so untuned runs stay byte-identical.
+	EvTune
 )
 
 // String names the kind for human-readable exports (the job service's
@@ -56,6 +62,8 @@ func (k EventKind) String() string {
 		return "speculate"
 	case EvSteal:
 		return "steal"
+	case EvTune:
+		return "tune"
 	}
 	return "unknown"
 }
@@ -213,6 +221,13 @@ func (r *Recorder) Speculate(w int, v int32) {
 // Steal records n vertices stolen toward hungry worker w.
 func (r *Recorder) Steal(w, n int) {
 	r.add(Event{Kind: EvSteal, Worker: w, Ready: n})
+}
+
+// Tune records a controller adjustment: the new batch cap and a label
+// describing the full decision ("batch 2->4 (amortizing)" or
+// "spec q=0.960 m=2.50 (uniform, dispersion 1.20)").
+func (r *Recorder) Tune(batchCap int, label string) {
+	r.add(Event{Kind: EvTune, Ready: batchCap, Label: label})
 }
 
 // Member records a membership transition of elastic worker id (states:

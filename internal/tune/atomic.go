@@ -1,0 +1,21 @@
+package tune
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// atomicInt and atomicFloat keep the hot-path getters lock-free: sender
+// loops read the batch cap on every draw and must never contend with
+// the control tick.
+
+type atomicInt struct{ v atomic.Int64 }
+
+func (a *atomicInt) load() int64   { return a.v.Load() }
+func (a *atomicInt) store(n int64) { a.v.Store(n) }
+func (a *atomicInt) add(n int64)   { a.v.Add(n) }
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) store(f float64) { a.bits.Store(math.Float64bits(f)) }

@@ -63,13 +63,13 @@ go test -race ./...
 # and backlog stealing) are the most schedule-sensitive code in the repo;
 # run them a second time under -race with caching off so a lucky first pass
 # cannot hide a flaky membership, lease, or attempt-arbitration race.
-go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects|TestClusterOvertimeFakeClock|TestSpeculationFakeClock|TestDuplicateResultIdempotent|TestSpeculationRescues|TestStealRebalances' ./internal/cluster/
+go test -race -count=1 -run 'TestElastic|TestMasterRestart|TestPartitioned|TestClusterRejects|TestClusterOvertimeFakeClock|TestSpeculationFakeClock|TestDuplicateResultIdempotent|TestSpeculationRescues|TestStealRebalances|TestAutoTunesOverTCP' ./internal/cluster/
 # The shared-fleet multi-job suite (concurrent DAGs with a mid-run worker
 # kill, fake-clock poisoned-job isolation, stealing/speculation scoped per
 # job, and the end-to-end fleet-mode job service) interleaves several
 # jobs' lease and attempt namespaces over one pool — rerun it uncached for
 # the same reason.
-go test -race -count=1 -run 'TestFleetConcurrentJobsWorkerKill|TestFleetPoisonedJobIsolationFakeClock|TestFleetSpeculationFakeClock|TestFleetStealFeedsHungryMember|TestFleetCheckpointResume' ./internal/fleet/
+go test -race -count=1 -run 'TestFleetConcurrentJobsWorkerKill|TestFleetPoisonedJobIsolationFakeClock|TestFleetSpeculationFakeClock|TestFleetStealFeedsHungryMember|TestFleetCheckpointResume|TestFleetAutoTunesOverTCP' ./internal/fleet/
 go test -race -count=1 -run 'TestFleetService' ./internal/server/
 
 # Coverage ratchet for the task hot path (dispatch, wire codec, runtime).
@@ -95,6 +95,7 @@ check_cover internal/cluster 75
 check_cover internal/fleet 80
 check_cover internal/cas 80
 check_cover internal/sim 80
+check_cover internal/tune 80
 # The analyzer itself: the fixture suites for every rule keep the
 # short-mode number here; the repo-wide gates only run un-short.
 check_cover internal/lint 76
@@ -110,8 +111,11 @@ fi
 if [ "$sim" = 1 ]; then
     # Replay every scenario at extra fixed seeds: determinism-per-seed
     # and bit-identical DP results must hold at any seed, not just the
-    # tuned one. The timeout is the stage's wall-time budget — virtual
-    # time makes even the 1000-worker scenarios run in seconds.
+    # tuned one. This includes the self-tuning (auto) scenarios — the
+    # controller's decisions are pure functions of the schedule, so they
+    # must replay deterministically too. The timeout is the stage's
+    # wall-time budget — virtual time makes even the 1000-worker
+    # scenarios run in seconds.
     EASYHPS_SIM_SEEDS="1009,2003" \
         go test -race -count=1 -run TestScenariosReseeded -timeout 120s ./internal/sim/
 fi
